@@ -1,0 +1,93 @@
+//===-- bench/bench_allocation.cpp - §4 allocation-contention ablation ----===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests the paper's §4 suspicion: "we suspect that a significant amount
+/// of the overhead is due to contention in storage allocation, in which
+/// case replication of the new-object space should have significant
+/// benefits."
+///
+/// Workload: an allocation storm run solo and against four allocating
+/// competitors, with the serialized (spin-locked bump pointer) allocator
+/// vs per-interpreter allocation buffers (the replicated new space).
+///
+/// Expected shape: the serialized allocator's contended overhead exceeds
+/// the TLAB allocator's; allocation-lock contention counts confirm why.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchSupport.h"
+
+using namespace mst;
+
+namespace {
+
+double timedAlloc(VirtualMachine &VM, int N) {
+  TimedRun R = runTimedWorkload(
+      VM,
+      "1 to: " + std::to_string(N) +
+          " do: [:i | Array new: 8. String new: 16]",
+      600.0);
+  return R.Ok ? R.CpuSec : -1.0;
+}
+
+struct Result {
+  double Solo = -1.0;
+  double Contended = -1.0;
+  uint64_t LockAcq = 0;
+  uint64_t LockContended = 0;
+  uint64_t Scavenges = 0;
+};
+
+Result measure(AllocatorKind Kind, int N) {
+  VmConfig C = VmConfig::multiprocessor(msInterpreters());
+  C.Memory.Allocator = Kind;
+  VirtualMachine VM(C);
+  bootstrapImage(VM);
+  setupMacroWorkload(VM);
+  VM.startInterpreters();
+
+  Result R;
+  R.Solo = timedAlloc(VM, N);
+  forkCompetitors(VM, 4, "[true] whileTrue: [Array new: 8]",
+                  "AllocCompetitors");
+  R.Contended = timedAlloc(VM, N);
+  terminateCompetitors(VM, "AllocCompetitors");
+  R.LockAcq = VM.memory().allocationLock().acquisitions();
+  R.LockContended = VM.memory().allocationLock().contendedAcquisitions();
+  R.Scavenges = VM.memory().statsSnapshot().Scavenges;
+  VM.shutdown();
+  return R;
+}
+
+} // namespace
+
+int main() {
+  int N = static_cast<int>(100000 * benchScale(1.0));
+  std::printf("Storage allocation: serialized bump pointer vs replicated "
+              "new space / TLABs (paper §4)\n\n");
+
+  Result Serial = measure(AllocatorKind::Serialized, N);
+  Result Tlab = measure(AllocatorKind::Tlab, N);
+
+  TextTable T;
+  T.setHeader({"allocator", "solo (s)", "4 busy (s)", "overhead",
+               "lock acq", "contended", "scavenges"});
+  auto Row = [&](const char *Name, const Result &R) {
+    double Over =
+        R.Solo > 0 ? (R.Contended / R.Solo - 1.0) * 100.0 : 0.0;
+    T.addRow({Name, formatDouble(R.Solo, 3), formatDouble(R.Contended, 3),
+              formatDouble(Over, 1) + "%", std::to_string(R.LockAcq),
+              std::to_string(R.LockContended),
+              std::to_string(R.Scavenges)});
+  };
+  Row("Serialized (spin lock)", Serial);
+  Row("Tlab (replicated new space)", Tlab);
+  std::printf("%s\n", T.render().c_str());
+  std::printf("Expected: replicating the new-object space reduces "
+              "contended allocation overhead.\n");
+  return 0;
+}

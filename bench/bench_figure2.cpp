@@ -1,0 +1,61 @@
+//===-- bench/bench_figure2.cpp - Figure 2: normalized overhead -----------===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates **Figure 2: Preliminary overhead measurements —
+/// normalized**: the Table 2 data with every benchmark's time normalized
+/// to the baseline-BS time for that benchmark, rendered as ASCII bars.
+///
+/// Expected shape: bars grow monotonically from baseline (1.00) through
+/// MS, MS+idle, to MS+busy for most benchmarks.
+///
+//===----------------------------------------------------------------------===//
+
+#include <algorithm>
+
+#include "BenchSupport.h"
+
+using namespace mst;
+
+int main() {
+  double Scale = benchScale(3.0);
+
+  std::printf("Figure 2: Preliminary overhead measurements - normalized\n");
+  std::printf("workload scale %.1f, %u interpreters for MS states\n\n",
+              Scale, msInterpreters());
+
+  const SystemState States[] = {
+      SystemState::BaselineBS, SystemState::Ms, SystemState::MsFourIdle,
+      SystemState::MsFourBusy};
+
+  std::vector<std::vector<TimedRun>> All;
+  for (SystemState S : States)
+    All.push_back(runMacroSuite(S, Scale, 2));
+
+  const auto Names = macroShortNames();
+  auto Cpu = [&](size_t SI, size_t B) {
+    return All[SI][B].Ok ? All[SI][B].CpuSec : -1.0;
+  };
+  double MaxRatio = 1.0;
+  for (size_t SI = 1; SI < 4; ++SI)
+    for (size_t B = 0; B < Names.size(); ++B)
+      if (Cpu(0, B) > 0 && Cpu(SI, B) > 0)
+        MaxRatio = std::max(MaxRatio, Cpu(SI, B) / Cpu(0, B));
+
+  for (size_t B = 0; B < Names.size(); ++B) {
+    std::printf("%s\n", Names[B].c_str());
+    for (size_t SI = 0; SI < 4; ++SI) {
+      double Ratio =
+          (Cpu(0, B) > 0 && Cpu(SI, B) > 0) ? Cpu(SI, B) / Cpu(0, B) : 0.0;
+      std::printf("  %-30s %5.2f |%s\n", stateName(States[SI]), Ratio,
+                  asciiBar(Ratio, MaxRatio, 48).c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("Processor time normalized to the baseline BS time for "
+              "each benchmark (1.00).\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+//===-- examples/browser_session.cpp - An interactive-environment tour ----===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interactive programming environment the paper's macro benchmarks
+/// model (§4): browse the class hierarchy, read a class definition and
+/// organization, find senders and implementors of a selector, compile a
+/// method at runtime, and decompile it back — everything a Smalltalk-80
+/// system browser does, here driven from C++ through doIts.
+///
+///   ./examples/browser_session
+///
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+
+#include "image/Bootstrap.h"
+#include "vm/VirtualMachine.h"
+
+using namespace mst;
+
+int main() {
+  VirtualMachine VM(VmConfig::multiprocessor(1));
+  bootstrapImage(VM);
+
+  auto Show = [&VM](const char *Title, const char *Src) {
+    Oop R = VM.compileAndRun(Src);
+    std::printf("--- %s\n", Title);
+    if (R.isPointer() && R.object()->Format == ObjectFormat::Bytes)
+      std::printf("%s\n\n", ObjectModel::stringValue(R).c_str());
+    else
+      std::printf("%s\n\n", VM.model().describe(R).c_str());
+  };
+
+  Show("class hierarchy under Collection",
+       "^Collection printHierarchy");
+  Show("definition of Dictionary", "^Dictionary definition");
+  Show("organization of OrderedCollection",
+       "^OrderedCollection organization printString");
+  Show("implementors of printOn:",
+       "^(Smalltalk implementorsOf: #printOn:) printString");
+  Show("senders of value: (first few)",
+       "| s | s := Smalltalk sendersOf: #classify:under:. "
+       "^s printString");
+
+  std::printf("--- compile a method into Point, then decompile it\n");
+  Oop Sel = VM.compileAndRun(
+      "^Compiler compile: 'dist2 ^x * x + (y * y)' into: Point");
+  std::printf("compiled selector: %s\n", VM.model().describe(Sel).c_str());
+  Show("it works", "^(Point x: 3 y: 4) dist2 printString");
+  Show("decompiled", "^(Point compiledMethodAt: #dist2) decompile");
+
+  Show("inspect a point",
+       "| i s | i := Inspector on: (Point x: 3 y: 4). s := WriteStream "
+       "on: (String new: 32). i fields do: [:a | s nextPutAll: a key; "
+       "nextPutAll: ' = '; nextPutAll: a value; cr]. ^s contents");
+
+  std::printf("--- display controller saw %llu commands\n",
+              static_cast<unsigned long long>(
+                  VM.display().submittedCount()));
+  for (const std::string &E : VM.errors())
+    std::fprintf(stderr, "error: %s\n", E.c_str());
+  return VM.errors().empty() ? 0 : 1;
+}

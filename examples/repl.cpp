@@ -1,0 +1,66 @@
+//===-- examples/repl.cpp - An interactive Smalltalk listener -------------===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "interactive programming environment" itself, in miniature: a
+/// read-eval-print listener over the bootstrapped image. Each line is
+/// compiled as a doIt and evaluated; `printString` renders the answer.
+///
+///   ./examples/repl
+///   > 3 + 4 * 2
+///   14
+///   > Smalltalk at: #Counter put: 0
+///   > Smalltalk at: #Counter put: (Smalltalk at: #Counter) + 1
+///   > (Smalltalk at: #Counter) printString
+///   '1'
+///
+/// Also usable non-interactively: `echo '^42 factorial' | ./examples/repl`
+/// (note: 42 factorial overflows SmallInteger — you get the clean error
+/// and a Smalltalk backtrace, which is rather the point).
+///
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "image/Bootstrap.h"
+#include "vm/VirtualMachine.h"
+
+using namespace mst;
+
+int main() {
+  VirtualMachine VM(VmConfig::multiprocessor(1));
+  bootstrapImage(VM);
+  std::printf("Multiprocessor Smalltalk listener — empty line or EOF "
+              "quits.\n");
+
+  std::string Line;
+  size_t Shown = 0;
+  while (std::printf("> "), std::fflush(stdout),
+         std::getline(std::cin, Line)) {
+    if (Line.empty())
+      break;
+    // Expressions without an explicit return answer their value.
+    std::string Src = Line;
+    if (Src[0] != '^' && Src[0] != '|')
+      Src = "^(" + Src + ") printString";
+    Oop R = VM.compileAndRun(Src);
+    if (R.isNull()) {
+      auto Errors = VM.errors();
+      for (size_t I = Shown; I < Errors.size(); ++I)
+        std::printf("error: %s\n", Errors[I].c_str());
+      Shown = Errors.size();
+      continue;
+    }
+    if (R.isPointer() && R.object()->Format == ObjectFormat::Bytes)
+      std::printf("%s\n", ObjectModel::stringValue(R).c_str());
+    else
+      std::printf("%s\n", VM.model().describe(R).c_str());
+  }
+  std::printf("\nbye\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+//===-- examples/snapshot_roundtrip.cpp - Image snapshots -----------------===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Save a live image — classes defined at runtime, globals, state — and
+/// resurrect it in a brand-new VM, the Smalltalk way of ending a session.
+/// The §3.3 ritual (fill the activeProcess slot before the snapshot,
+/// empty it after) happens inside saveSnapshot.
+///
+///   ./examples/snapshot_roundtrip [path]
+///
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+#include <thread>
+
+#include "image/Bootstrap.h"
+#include "image/Snapshot.h"
+#include "vm/VirtualMachine.h"
+
+using namespace mst;
+
+int main(int Argc, char **Argv) {
+  std::string Path = Argc > 1 ? Argv[1] : "/tmp/mst-demo.image";
+  bool Ok = true;
+
+  // Session 1: build a world and snapshot it.
+  std::thread([&] {
+    VirtualMachine VM(VmConfig::multiprocessor(1));
+    bootstrapImage(VM);
+    Oop Counter = defineClass(VM, "ClickCounter", "Object",
+                              ClassKind::Fixed, {"clicks"}, "Demo");
+    addMethod(VM, Counter, "accessing", "clicks ^clicks");
+    addMethod(VM, Counter, "accessing",
+              "click clicks := (clicks isNil ifTrue: [0] ifFalse: "
+              "[clicks]) + 1. ^clicks");
+    VM.compileAndRun("Smalltalk at: #TheCounter put: ClickCounter new. "
+                     "1 to: 41 do: [:i | (Smalltalk at: #TheCounter) "
+                     "click]");
+    std::string Error;
+    if (!saveSnapshot(VM, Path, Error)) {
+      std::fprintf(stderr, "save failed: %s\n", Error.c_str());
+      Ok = false;
+      return;
+    }
+    std::printf("session 1: counter at %s, image saved to %s\n",
+                VM.model()
+                    .describe(VM.compileAndRun(
+                        "^(Smalltalk at: #TheCounter) clicks"))
+                    .c_str(),
+                Path.c_str());
+  }).join();
+  if (!Ok)
+    return 1;
+
+  // Session 2: a fresh VM resumes exactly where session 1 stopped.
+  std::thread([&] {
+    VirtualMachine VM(VmConfig::multiprocessor(1));
+    std::string Error;
+    if (!loadSnapshot(VM, Path, Error)) {
+      std::fprintf(stderr, "load failed: %s\n", Error.c_str());
+      Ok = false;
+      return;
+    }
+    Oop N = VM.compileAndRun("^(Smalltalk at: #TheCounter) click");
+    std::printf("session 2: one more click -> %s\n",
+                VM.model().describe(N).c_str());
+    Ok = N.isSmallInt() && N.smallInt() == 42;
+  }).join();
+
+  std::printf("%s\n", Ok ? "OK" : "FAILED");
+  return Ok ? 0 : 1;
+}

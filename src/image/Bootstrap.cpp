@@ -1,0 +1,200 @@
+//===-- image/Bootstrap.cpp - The virtual image -----------------*- C++ -*-===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "image/Bootstrap.h"
+
+#include <cctype>
+#include <cstdio>
+#include <map>
+
+#include "support/Assert.h"
+#include "vm/Compiler.h"
+
+using namespace mst;
+
+namespace {
+
+/// Image-level classes beyond the VM kernel, defined at bootstrap.
+struct ClassDef {
+  const char *Name;
+  const char *Super;
+  ClassKind Kind;
+  std::vector<const char *> Ivars;
+  const char *Category;
+};
+
+const std::vector<ClassDef> &imageClasses() {
+  static const std::vector<ClassDef> Defs = {
+      {"OrderedCollection", "SequenceableCollection", ClassKind::Fixed,
+       {"array", "firstIndex", "lastIndex"}, "Collections-Sequenceable"},
+      {"Dictionary", "Collection", ClassKind::Fixed, {"tally", "table"},
+       "Collections-Unordered"},
+      {"WriteStream", "Object", ClassKind::Fixed,
+       {"collection", "position"}, "Collections-Streams"},
+      {"ReadStream", "Object", ClassKind::Fixed,
+       {"collection", "position"}, "Collections-Streams"},
+      {"ClassOrganization", "Object", ClassKind::Fixed, {"categories"},
+       "Kernel-Classes"},
+      {"DisplayScreen", "Object", ClassKind::Fixed, {}, "Graphics-Display"},
+      {"InputSensor", "Object", ClassKind::Fixed, {}, "Graphics-Display"},
+      {"CompilerTool", "Object", ClassKind::Fixed, {}, "System-Compiler"},
+      {"DecompilerTool", "Object", ClassKind::Fixed, {},
+       "System-Compiler"},
+      {"Inspector", "Object", ClassKind::Fixed, {"object", "fields"},
+       "Interface-Inspector"},
+      {"Point", "Object", ClassKind::Fixed, {"x", "y"}, "Graphics-Basic"},
+      {"Interval", "SequenceableCollection", ClassKind::Fixed,
+       {"start", "stop", "step"}, "Collections-Sequenceable"},
+      {"Set", "Collection", ClassKind::Fixed, {"tally", "table"},
+       "Collections-Unordered"},
+  };
+  return Defs;
+}
+
+} // namespace
+
+Oop mst::defineClass(VirtualMachine &VM, const std::string &Name,
+                     const std::string &SuperName, ClassKind Kind,
+                     const std::vector<std::string> &InstVarNames,
+                     const std::string &Category) {
+  ObjectModel &Om = VM.model();
+  Oop Super = Om.globalAt(SuperName);
+  if (Super.isNull()) {
+    std::fprintf(stderr, "defineClass: unknown superclass %s\n",
+                 SuperName.c_str());
+    std::abort();
+  }
+  Oop Cls = Om.makeClass(Super, Name, Kind, InstVarNames, Category);
+  Om.globalPut(Name, Cls);
+  return Cls;
+}
+
+void mst::addMethod(VirtualMachine &VM, Oop Cls, const std::string &Category,
+                    const std::string &Source) {
+  ObjectModel &Om = VM.model();
+  Oop Method = mustCompile(Om, &VM.cache(), Cls, Source);
+  // Classify it in the class organization, if one has been built.
+  Oop Org = ObjectMemory::fetchPointer(Cls, ClsOrganization);
+  if (Org == Om.nil())
+    return;
+  Oop Selector = ObjectMemory::fetchPointer(Method, MthSelector);
+  std::string SelText = ObjectModel::stringValue(Selector);
+  std::string CatSym = Category.empty() ? "as yet unclassified" : Category;
+  // Run the classification through Smalltalk so the organization objects
+  // stay purely image-level.
+  std::string DoIt = "(Smalltalk at: #" + Om.className(Cls) +
+                     ") organization classify: #" + SelText + " under: #'" +
+                     CatSym + "'";
+  VM.compileAndRun(DoIt);
+}
+
+void mst::bootstrapImage(VirtualMachine &VM) {
+  ObjectModel &Om = VM.model();
+
+  // 1. Image-level classes.
+  for (const ClassDef &D : imageClasses()) {
+    std::vector<std::string> Ivars(D.Ivars.begin(), D.Ivars.end());
+    defineClass(VM, D.Name, D.Super, D.Kind, Ivars, D.Category);
+  }
+
+  // 2. Tool globals: the simulated display/sensor and the compiler and
+  //    decompiler front doors. These exist before the kernel methods
+  //    compile, because method bodies reference them.
+  Om.globalPut("Display",
+               Om.instantiate(Om.globalAt("DisplayScreen"), 0, true));
+  Om.globalPut("Sensor",
+               Om.instantiate(Om.globalAt("InputSensor"), 0, true));
+  Om.globalPut("Compiler",
+               Om.instantiate(Om.globalAt("CompilerTool"), 0, true));
+  Om.globalPut("Decompiler",
+               Om.instantiate(Om.globalAt("DecompilerTool"), 0, true));
+
+  // 3. Kernel methods.
+  for (const MethodDef &M : kernelMethods()) {
+    Oop Cls = Om.globalAt(M.ClassName);
+    if (Cls.isNull()) {
+      std::fprintf(stderr, "bootstrap: unknown class %s\n", M.ClassName);
+      std::abort();
+    }
+    if (M.Meta)
+      Cls = Om.classOf(Cls);
+    mustCompile(Om, &VM.cache(), Cls, M.Source);
+  }
+
+  // 4. Class organizations: build one ClassOrganization per class from the
+  //    kernel method table's categories, running real Smalltalk code so
+  //    the benchmark sees genuine image-level structures.
+  std::map<std::string, std::map<bool, std::vector<const MethodDef *>>>
+      ByClass;
+  for (const MethodDef &M : kernelMethods())
+    ByClass[M.ClassName][M.Meta].push_back(&M);
+
+  for (const auto &[ClassName, Sides] : ByClass) {
+    for (const auto &[Meta, Defs] : Sides) {
+      std::string DoIt = "| org |\norg := ClassOrganization new.\n";
+      for (const MethodDef *D : Defs) {
+        // Selector = pattern's keywords/identifier; recover it by
+        // compiling? The compiled methods are installed already; use the
+        // source's leading token(s). Simplest robust route: ask the
+        // class. We instead classify from Smalltalk by scanning the
+        // method dictionary is wrong (loses categories), so parse the
+        // selector out of the source text here.
+        std::string Sel;
+        const char *S = D->Source;
+        // Skip leading spaces.
+        while (*S == ' ' || *S == '\n')
+          ++S;
+        if (!isalpha(static_cast<unsigned char>(*S)) && *S != '_') {
+          // Binary selector pattern.
+          while (*S && *S != ' ')
+            Sel += *S++;
+        } else {
+          // Unary or keyword pattern: collect ident / every keyword.
+          const char *P = S;
+          std::string First;
+          while (isalnum(static_cast<unsigned char>(*P)) || *P == '_')
+            First += *P++;
+          if (*P == ':') {
+            // Keyword pattern: scan "kw: arg" pairs.
+            const char *Q = S;
+            for (;;) {
+              std::string Kw;
+              while (isalnum(static_cast<unsigned char>(*Q)) || *Q == '_')
+                Kw += *Q++;
+              if (*Q != ':')
+                break;
+              ++Q;
+              Sel += Kw + ":";
+              // Skip " arg " (spaces + identifier).
+              while (*Q == ' ')
+                ++Q;
+              while (isalnum(static_cast<unsigned char>(*Q)) || *Q == '_')
+                ++Q;
+              while (*Q == ' ')
+                ++Q;
+            }
+          } else {
+            Sel = First;
+          }
+        }
+        DoIt += "org classify: #'" + Sel + "' under: #'" +
+                std::string(D->Category) + "'.\n";
+      }
+      DoIt += "(Smalltalk at: #" + ClassName + ")" +
+              (Meta ? std::string(" class") : std::string("")) +
+              " organization: org";
+      Oop R = VM.compileAndRun(DoIt);
+      if (R.isNull()) {
+        std::fprintf(stderr,
+                     "bootstrap: organization doIt failed for %s\n%s\n",
+                     ClassName.c_str(), DoIt.c_str());
+        for (const std::string &E : VM.errors())
+          std::fprintf(stderr, "  error: %s\n", E.c_str());
+        std::abort();
+      }
+    }
+  }
+}

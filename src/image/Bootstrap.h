@@ -1,0 +1,58 @@
+//===-- image/Bootstrap.h - The virtual image -------------------*- C++ -*-===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds the virtual image: the kernel class library (collections,
+/// streams, printing, processes, browsing support) compiled from embedded
+/// Smalltalk source into a freshly-booted VM. This plays the role of the
+/// ParcPlace VI2.1 image that BS/MS interpreted (paper §2), at a smaller
+/// scale but with the same structures the macro benchmarks traverse:
+/// method dictionaries, literal frames, class organizations, and the
+/// scheduler's Smalltalk-visible queues.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MST_IMAGE_BOOTSTRAP_H
+#define MST_IMAGE_BOOTSTRAP_H
+
+#include <string>
+#include <vector>
+
+#include "vm/VirtualMachine.h"
+
+namespace mst {
+
+/// One kernel method definition.
+struct MethodDef {
+  const char *ClassName; ///< target class (resolved via globals)
+  bool Meta;             ///< compile into the metaclass (class-side)
+  const char *Category;  ///< organization category
+  const char *Source;    ///< full method source
+};
+
+/// \returns the kernel method table (image/KernelSource.cpp).
+const std::vector<MethodDef> &kernelMethods();
+
+/// Builds the complete image into \p VM: kernel classes, kernel methods,
+/// class organizations, and the Display/Sensor/Compiler/Decompiler
+/// globals. Must run on the driver thread before interpreters start.
+void bootstrapImage(VirtualMachine &VM);
+
+/// Defines a new class at runtime (examples and benches use this).
+/// \returns the class oop.
+Oop defineClass(VirtualMachine &VM, const std::string &Name,
+                const std::string &SuperName, ClassKind Kind,
+                const std::vector<std::string> &InstVarNames,
+                const std::string &Category);
+
+/// Compiles and installs \p Source on \p Cls, classifying it under
+/// \p Category in the class organization. Aborts on compile errors.
+void addMethod(VirtualMachine &VM, Oop Cls, const std::string &Category,
+               const std::string &Source);
+
+} // namespace mst
+
+#endif // MST_IMAGE_BOOTSTRAP_H

@@ -1,0 +1,423 @@
+//===-- image/Snapshot.cpp - Virtual image save/load ----------------------===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "image/Snapshot.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+#include "support/Assert.h"
+
+using namespace mst;
+
+namespace {
+
+constexpr uint32_t SnapshotMagic = 0x4d535431; // "MST1"
+constexpr uint32_t SnapshotVersion = 2;
+
+/// One serialized object record (fixed part).
+struct RecordHeader {
+  uint64_t ClassRef;   // encoded reference (see encodeRef)
+  uint32_t SlotCount;
+  uint32_t ByteLength;
+  uint32_t Hash;
+  uint8_t Format;
+  uint8_t Escaped;
+  uint8_t Pad[2];
+};
+
+/// Reference encoding within a snapshot:
+///   0                -> the null oop
+///   (v << 1) | 1     -> SmallInteger v
+///   (id + 1) << 1    -> object with the given table id
+uint64_t encodeRef(Oop O,
+                   const std::unordered_map<uintptr_t, uint64_t> &Ids) {
+  if (O.isNull())
+    return 0;
+  if (O.isSmallInt())
+    return (static_cast<uint64_t>(O.smallInt()) << 1) | 1u;
+  auto It = Ids.find(O.bits());
+  assert(It != Ids.end() && "reference to an unserialized object");
+  return (It->second + 1) << 1;
+}
+
+class Writer {
+public:
+  Writer(VirtualMachine &VM, std::FILE *Out) : VM(VM), Out(Out) {}
+
+  bool run(std::string &Error) {
+    collect();
+    if (!writeHeader() || !writeObjects() || !writeRootTable() ||
+        !writeSymbolTable()) {
+      Error = "snapshot write failed (disk full?)";
+      return false;
+    }
+    return true;
+  }
+
+private:
+  /// Breadth-first closure over everything reachable from the well-known
+  /// objects and the symbol table.
+  void collect() {
+    auto Enqueue = [this](Oop O) {
+      if (!O.isPointer() || Ids.count(O.bits()))
+        return;
+      Ids.emplace(O.bits(), Objects.size());
+      Objects.push_back(O);
+    };
+    KnownObjects &K = VM.model().known();
+    K.visitRoots([&](Oop *Cell) {
+      Enqueue(*Cell);
+      RootCells.push_back(Cell);
+    });
+    VM.model().symbols().visitRoots([&](Oop *Cell) { Enqueue(*Cell); });
+
+    for (size_t Scan = 0; Scan < Objects.size(); ++Scan) {
+      ObjectHeader *H = Objects[Scan].object();
+      Enqueue(H->classOop());
+      if (H->Format == ObjectFormat::Bytes)
+        continue;
+      // Contexts are serialized in full (dead slots are nil or smallint
+      // in practice once the interpreter has saved its state; scanning
+      // conservatively to SlotCount would risk junk, so respect sp).
+      uint32_t Live = H->SlotCount;
+      if (H->Format == ObjectFormat::Context) {
+        Oop Sp = H->slots()[ContextSpSlotIndex];
+        if (Sp.isSmallInt() && Sp.smallInt() >= 0)
+          Live = std::min<uint32_t>(
+              H->SlotCount, static_cast<uint32_t>(Sp.smallInt()) + 1);
+      }
+      for (uint32_t I = 0; I < Live; ++I)
+        Enqueue(H->slots()[I]);
+    }
+  }
+
+  bool put(const void *P, size_t N) { return std::fwrite(P, 1, N, Out) == N; }
+  bool putU32(uint32_t V) { return put(&V, 4); }
+  bool putU64(uint64_t V) { return put(&V, 8); }
+
+  bool writeHeader() {
+    return putU32(SnapshotMagic) && putU32(SnapshotVersion) &&
+           putU64(Objects.size()) && putU64(RootCells.size());
+  }
+
+  bool writeObjects() {
+    for (Oop O : Objects) {
+      ObjectHeader *H = O.object();
+      RecordHeader R{};
+      R.ClassRef = encodeRef(H->classOop(), Ids);
+      R.SlotCount = H->SlotCount;
+      R.ByteLength = H->ByteLength;
+      R.Hash = H->Hash;
+      R.Format = static_cast<uint8_t>(H->Format);
+      R.Escaped = H->isEscaped() ? 1 : 0;
+      if (!put(&R, sizeof(R)))
+        return false;
+      if (H->Format == ObjectFormat::Bytes) {
+        if (H->ByteLength && !put(H->bytes(), H->ByteLength))
+          return false;
+        continue;
+      }
+      uint32_t Live = H->SlotCount;
+      if (H->Format == ObjectFormat::Context) {
+        Oop Sp = H->slots()[ContextSpSlotIndex];
+        if (Sp.isSmallInt() && Sp.smallInt() >= 0)
+          Live = std::min<uint32_t>(
+              H->SlotCount, static_cast<uint32_t>(Sp.smallInt()) + 1);
+      }
+      if (!putU32(Live))
+        return false;
+      for (uint32_t I = 0; I < Live; ++I)
+        if (!putU64(encodeRef(H->slots()[I], Ids)))
+          return false;
+    }
+    return true;
+  }
+
+  bool writeRootTable() {
+    for (Oop *Cell : RootCells)
+      if (!putU64(encodeRef(*Cell, Ids)))
+        return false;
+    return true;
+  }
+
+  bool writeSymbolTable() {
+    // Symbols are identified by their object ids; spellings come from the
+    // byte bodies at load time.
+    std::vector<uint64_t> SymbolIds;
+    VM.model().symbols().visitRoots([&](Oop *Cell) {
+      if (Cell->isPointer()) {
+        auto It = Ids.find(Cell->bits());
+        if (It != Ids.end())
+          SymbolIds.push_back(It->second);
+      }
+    });
+    // The last visited cell is the symbol class itself; keep it — the
+    // loader just skips non-Symbol spellings being re-adopted twice.
+    if (!putU64(SymbolIds.size()))
+      return false;
+    for (uint64_t Id : SymbolIds)
+      if (!putU64(Id))
+        return false;
+    return true;
+  }
+
+  VirtualMachine &VM;
+  std::FILE *Out;
+  std::unordered_map<uintptr_t, uint64_t> Ids;
+  std::vector<Oop> Objects;
+  std::vector<Oop *> RootCells;
+};
+
+class Loader {
+public:
+  Loader(VirtualMachine &VM, std::FILE *In) : VM(VM), In(In) {}
+
+  bool run(std::string &Error) {
+    uint32_t Magic = 0, Version = 0;
+    uint64_t ObjectCount = 0, RootCount = 0;
+    if (!getU32(Magic) || !getU32(Version) || !getU64(ObjectCount) ||
+        !getU64(RootCount)) {
+      Error = "snapshot truncated (header)";
+      return false;
+    }
+    if (Magic != SnapshotMagic || Version != SnapshotVersion) {
+      Error = "not a compatible snapshot file";
+      return false;
+    }
+    if (!readObjects(ObjectCount, Error))
+      return false;
+    if (!rebindRoots(RootCount, Error))
+      return false;
+    if (!rebindSymbols(Error))
+      return false;
+    return true;
+  }
+
+private:
+  bool get(void *P, size_t N) { return std::fread(P, 1, N, In) == N; }
+  bool getU32(uint32_t &V) { return get(&V, 4); }
+  bool getU64(uint64_t &V) { return get(&V, 8); }
+
+  Oop decodeRef(uint64_t R, bool &Ok) const {
+    if (R == 0)
+      return Oop();
+    if (R & 1)
+      return Oop::fromSmallInt(static_cast<intptr_t>(R) >> 1);
+    uint64_t Id = (R >> 1) - 1;
+    if (Id >= Loaded.size()) {
+      Ok = false;
+      return Oop();
+    }
+    return Loaded[Id];
+  }
+
+  bool readObjects(uint64_t Count, std::string &Error) {
+    ObjectMemory &OM = VM.memory();
+    std::vector<RecordHeader> Headers(Count);
+    std::vector<std::vector<uint64_t>> Bodies(Count);
+    std::vector<std::vector<uint8_t>> Bytes(Count);
+    uint32_t MaxHash = 0;
+
+    // Pass 1: read records and allocate shells (class fixed up later; a
+    // temporary null class is fine while the world is single-threaded).
+    for (uint64_t I = 0; I < Count; ++I) {
+      RecordHeader &R = Headers[I];
+      if (!get(&R, sizeof(R))) {
+        Error = "snapshot truncated (record " + std::to_string(I) + ")";
+        return false;
+      }
+      MaxHash = std::max(MaxHash, R.Hash);
+      Oop Shell;
+      switch (static_cast<ObjectFormat>(R.Format)) {
+      case ObjectFormat::Bytes: {
+        Bytes[I].resize(R.ByteLength);
+        if (R.ByteLength && !get(Bytes[I].data(), R.ByteLength)) {
+          Error = "snapshot truncated (bytes)";
+          return false;
+        }
+        Shell = OM.allocateOldBytes(Oop(), R.ByteLength);
+        std::memcpy(Shell.object()->bytes(), Bytes[I].data(),
+                    R.ByteLength);
+        break;
+      }
+      case ObjectFormat::Pointers:
+      case ObjectFormat::Context: {
+        uint32_t Live = 0;
+        if (!getU32(Live) || Live > R.SlotCount) {
+          Error = "snapshot corrupt (live slots)";
+          return false;
+        }
+        Bodies[I].resize(Live);
+        for (uint32_t S = 0; S < Live; ++S)
+          if (!getU64(Bodies[I][S])) {
+            Error = "snapshot truncated (slots)";
+            return false;
+          }
+        Shell = static_cast<ObjectFormat>(R.Format) ==
+                        ObjectFormat::Context
+                    ? OM.allocateOldContextObject(Oop(), R.SlotCount)
+                    : OM.allocateOldPointers(Oop(), R.SlotCount);
+        break;
+      }
+      default:
+        Error = "snapshot corrupt (format)";
+        return false;
+      }
+      Shell.object()->Hash = R.Hash;
+      if (R.Escaped)
+        Shell.object()->setEscaped();
+      Loaded.push_back(Shell);
+    }
+    OM.ensureHashCounterAbove(MaxHash);
+
+    // Pass 2: patch classes and slots.
+    bool Ok = true;
+    for (uint64_t I = 0; I < Count; ++I) {
+      ObjectHeader *H = Loaded[I].object();
+      H->setClassOop(decodeRef(Headers[I].ClassRef, Ok));
+      for (uint32_t S = 0; S < Bodies[I].size(); ++S)
+        H->slots()[S] = decodeRef(Bodies[I][S], Ok);
+      // Unserialized context slots (beyond sp) become nil after rebind;
+      // defer until the known nil exists (rebindRoots), recorded here.
+      if (H->Format != ObjectFormat::Bytes &&
+          Bodies[I].size() < H->SlotCount)
+        NeedsNilFill.push_back(Loaded[I]);
+    }
+    if (!Ok) {
+      Error = "snapshot corrupt (dangling reference)";
+      return false;
+    }
+    return true;
+  }
+
+  bool rebindRoots(uint64_t Count, std::string &Error) {
+    std::vector<Oop *> Cells;
+    VM.model().known().visitRoots(
+        [&Cells](Oop *Cell) { Cells.push_back(Cell); });
+    if (Cells.size() != Count) {
+      Error = "snapshot root table mismatch (" +
+              std::to_string(Cells.size()) + " vs " +
+              std::to_string(Count) + ")";
+      return false;
+    }
+    bool Ok = true;
+    for (Oop *Cell : Cells) {
+      uint64_t R = 0;
+      if (!getU64(R)) {
+        Error = "snapshot truncated (roots)";
+        return false;
+      }
+      *Cell = decodeRef(R, Ok);
+    }
+    if (!Ok) {
+      Error = "snapshot corrupt (root reference)";
+      return false;
+    }
+    VM.memory().setNil(VM.model().known().NilObj);
+    Oop Nil = VM.model().known().NilObj;
+    for (Oop O : NeedsNilFill) {
+      ObjectHeader *H = O.object();
+      uint32_t Live = H->SlotCount;
+      Oop Sp = H->slots()[ContextSpSlotIndex];
+      if (Sp.isSmallInt() && Sp.smallInt() >= 0)
+        Live = std::min<uint32_t>(
+            H->SlotCount, static_cast<uint32_t>(Sp.smallInt()) + 1);
+      for (uint32_t S = Live; S < H->SlotCount; ++S)
+        H->slots()[S] = Nil;
+    }
+    return true;
+  }
+
+  bool rebindSymbols(std::string &Error) {
+    uint64_t N = 0;
+    if (!getU64(N)) {
+      Error = "snapshot truncated (symbol table)";
+      return false;
+    }
+    std::vector<std::pair<std::string, Oop>> Syms;
+    Oop SymbolClass = VM.model().known().ClassSymbol;
+    for (uint64_t I = 0; I < N; ++I) {
+      uint64_t Id = 0;
+      if (!getU64(Id)) {
+        Error = "snapshot truncated (symbol ids)";
+        return false;
+      }
+      if (Id >= Loaded.size()) {
+        Error = "snapshot corrupt (symbol id)";
+        return false;
+      }
+      Oop Sym = Loaded[Id];
+      if (!Sym.isPointer() ||
+          Sym.object()->Format != ObjectFormat::Bytes ||
+          Sym.object()->classOop() != SymbolClass)
+        continue; // the trailing symbol-class cell, not a symbol
+      Syms.emplace_back(ObjectModel::stringValue(Sym), Sym);
+    }
+    VM.model().symbols().adoptLoadedSymbols(Syms);
+    VM.model().symbols().setSymbolClass(SymbolClass);
+    return true;
+  }
+
+  VirtualMachine &VM;
+  std::FILE *In;
+  std::vector<Oop> Loaded;
+  std::vector<Oop> NeedsNilFill;
+};
+
+} // namespace
+
+bool mst::saveSnapshot(VirtualMachine &VM, const std::string &Path,
+                       std::string &Error) {
+  std::FILE *Out = std::fopen(Path.c_str(), "wb");
+  if (!Out) {
+    Error = "cannot open " + Path + " for writing";
+    return false;
+  }
+  // §3.3: fill the activeProcess slot before the snapshot, empty it
+  // afterwards (the VM itself never reads it).
+  VM.scheduler().fillActiveProcessSlot(
+      VM.driver().roots().ActiveProcess.isNull()
+          ? VM.model().nil()
+          : VM.driver().roots().ActiveProcess);
+
+  // Stop the world so the object graph is frozen while we walk it.
+  while (!VM.memory().safepoint().requestStopTheWorld()) {
+  }
+  Writer W(VM, Out);
+  bool Ok = W.run(Error);
+  VM.memory().safepoint().resume();
+
+  VM.scheduler().emptyActiveProcessSlot();
+  if (std::fclose(Out) != 0 && Ok) {
+    Error = "close failed for " + Path;
+    Ok = false;
+  }
+  return Ok;
+}
+
+bool mst::loadSnapshot(VirtualMachine &VM, const std::string &Path,
+                       std::string &Error) {
+  std::FILE *In = std::fopen(Path.c_str(), "rb");
+  if (!In) {
+    Error = "cannot open " + Path + " for reading";
+    return false;
+  }
+  Loader L(VM, In);
+  bool Ok = L.run(Error);
+  std::fclose(In);
+  if (Ok) {
+    // Loaded code may differ from whatever warmed the caches.
+    VM.cache().flushAll();
+    VM.contextPool().flushAll();
+    // §3.3 again: the slot is only meaningful inside the file.
+    VM.scheduler().emptyActiveProcessSlot();
+  }
+  return Ok;
+}

@@ -1,0 +1,50 @@
+//===-- image/Snapshot.h - Virtual image save/load --------------*- C++ -*-===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Image snapshots: "a static representation or 'snapshot' of the
+/// compiled code, class descriptions, etc." (paper footnote 2). The §3.3
+/// reorganization touches exactly this path: because MS ignores the
+/// ProcessorScheduler's activeProcess slot at run time, "the only
+/// requirement is to fill in the activeProcess slot before taking a
+/// snapshot and to empty it afterwards" — which saveSnapshot does.
+///
+/// The writer serializes every object reachable from the well-known
+/// objects (classes, methods, globals, processes — the whole image) with
+/// identity hashes preserved, so method-dictionary probing works
+/// unchanged after a load. The loader materializes everything into the
+/// non-moving old generation of a *fresh* VM and rebinds the well-known
+/// table and the symbol table.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MST_IMAGE_SNAPSHOT_H
+#define MST_IMAGE_SNAPSHOT_H
+
+#include <string>
+
+#include "vm/VirtualMachine.h"
+
+namespace mst {
+
+/// Writes \p VM's image to \p Path. Must run on the driver thread with
+/// the world effectively idle (take it before startInterpreters, or after
+/// all Smalltalk Processes have settled): the writer stops the world for
+/// the duration. \returns false with \p Error set on failure.
+bool saveSnapshot(VirtualMachine &VM, const std::string &Path,
+                  std::string &Error);
+
+/// Loads the image at \p Path into \p VM, which must be freshly
+/// constructed (no bootstrapImage, no interpreters started). The core
+/// objects created by VM construction are abandoned in old space; every
+/// well-known binding and the symbol table are rebound to the loaded
+/// graph. \returns false with \p Error set on failure.
+bool loadSnapshot(VirtualMachine &VM, const std::string &Path,
+                  std::string &Error);
+
+} // namespace mst
+
+#endif // MST_IMAGE_SNAPSHOT_H

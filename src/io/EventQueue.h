@@ -1,0 +1,89 @@
+//===-- io/EventQueue.h - Serialized input events ---------------*- C++ -*-===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The input side of the I/O system: "the interpreter places input events
+/// on a queue which is shared (potentially) by several processes ...
+/// access to the shared resource is for very brief intervals" (paper
+/// §3.1), so serialization with a spin lock is the right strategy.
+///
+/// On the Firefly the events came from keyboard and mouse; here a test or
+/// workload generator injects them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MST_IO_EVENTQUEUE_H
+#define MST_IO_EVENTQUEUE_H
+
+#include <cstdint>
+#include <deque>
+
+#include "vkernel/SpinLock.h"
+
+namespace mst {
+
+/// One input event (keystroke, mouse motion, button).
+struct InputEvent {
+  enum class Kind : uint8_t { Key, MouseMove, MouseButton };
+  Kind Type = Kind::Key;
+  int32_t A = 0; ///< key code / x coordinate / button index
+  int32_t B = 0; ///< modifiers / y coordinate / press(1)-release(0)
+  uint64_t TimeMicros = 0;
+};
+
+/// Spin-lock-serialized queue of input events.
+class EventQueue {
+public:
+  /// \param LocksEnabled false for the baseline-BS (no-MP) build.
+  explicit EventQueue(bool LocksEnabled) : Lock(LocksEnabled) {}
+
+  /// Enqueues an event (producer side: the "interpreter" device layer or a
+  /// test driver).
+  void post(const InputEvent &E) {
+    SpinLockGuard Guard(Lock);
+    Events.push_back(E);
+    ++Posted;
+  }
+
+  /// Dequeues the oldest event. \returns false when the queue is empty.
+  bool next(InputEvent &E) {
+    SpinLockGuard Guard(Lock);
+    if (Events.empty())
+      return false;
+    E = Events.front();
+    Events.pop_front();
+    ++Consumed;
+    return true;
+  }
+
+  /// \returns the number of queued events.
+  size_t pending() {
+    SpinLockGuard Guard(Lock);
+    return Events.size();
+  }
+
+  uint64_t postedCount() {
+    SpinLockGuard Guard(Lock);
+    return Posted;
+  }
+  uint64_t consumedCount() {
+    SpinLockGuard Guard(Lock);
+    return Consumed;
+  }
+
+  /// \returns lock instrumentation for contention analysis.
+  SpinLock &lock() { return Lock; }
+
+private:
+  SpinLock Lock;
+  std::deque<InputEvent> Events;
+  uint64_t Posted = 0;
+  uint64_t Consumed = 0;
+};
+
+} // namespace mst
+
+#endif // MST_IO_EVENTQUEUE_H

@@ -1,0 +1,77 @@
+//===-- objmem/Handles.h - GC-safe local references -------------*- C++ -*-===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Handles protect oops held in C++ locals across allocation points.
+/// Because oops are direct pointers (no object table) and scavenges move
+/// objects, any C++ code that allocates while holding intermediate oops
+/// (the compiler, the browser, primitives that build structures) must
+/// register those oops so the scavenger can update them.
+///
+/// Each mutator owns a handle stack; Handle pushes the address of its own
+/// value cell and pops it on destruction (strict LIFO, enforced).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MST_OBJMEM_HANDLES_H
+#define MST_OBJMEM_HANDLES_H
+
+#include <vector>
+
+#include "objmem/Oop.h"
+#include "support/Assert.h"
+
+namespace mst {
+
+/// Per-mutator stack of protected oop cells.
+class HandleStack {
+public:
+  /// Pushes \p Cell; the scavenger will update it in place.
+  void push(Oop *Cell) { Cells.push_back(Cell); }
+
+  /// Pops \p Cell, which must be the most recently pushed.
+  void pop(Oop *Cell) {
+    assert(!Cells.empty() && Cells.back() == Cell &&
+           "handles must be destroyed in LIFO order");
+    (void)Cell;
+    Cells.pop_back();
+  }
+
+  /// \returns all live cells. Only safe with the world stopped.
+  const std::vector<Oop *> &cells() const { return Cells; }
+
+private:
+  std::vector<Oop *> Cells;
+};
+
+/// A GC-safe oop reference rooted in the owning mutator's handle stack.
+class Handle {
+public:
+  Handle(HandleStack &Stack, Oop Value) : Stack(Stack), Value(Value) {
+    Stack.push(&this->Value);
+  }
+
+  ~Handle() { Stack.pop(&Value); }
+
+  Handle(const Handle &) = delete;
+  Handle &operator=(const Handle &) = delete;
+
+  /// \returns the (possibly relocated) oop.
+  Oop get() const { return Value; }
+
+  /// Replaces the protected oop.
+  void set(Oop V) { Value = V; }
+
+  operator Oop() const { return Value; }
+
+private:
+  HandleStack &Stack;
+  Oop Value;
+};
+
+} // namespace mst
+
+#endif // MST_OBJMEM_HANDLES_H

@@ -1,0 +1,245 @@
+//===-- objmem/ObjectMemory.cpp - Generation-scavenged heap -----*- C++ -*-===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "objmem/ObjectMemory.h"
+
+#include <cstring>
+
+#include "objmem/Scavenger.h"
+#include "support/Assert.h"
+#include "support/Timer.h"
+
+using namespace mst;
+
+namespace {
+/// Thread-local pointer to the calling thread's mutator context within
+/// whichever ObjectMemory it registered with. One memory per thread at a
+/// time is sufficient for this system (each interpreter process serves a
+/// single VM).
+thread_local MutatorContext *CurrentMutator = nullptr;
+} // namespace
+
+ObjectMemory::ObjectMemory(const MemoryConfig &Config)
+    : Config(Config), RemSet(Config.MpSupport),
+      Old(Config.OldChunkBytes, Config.MpSupport),
+      AllocLock(Config.MpSupport) {
+  Eden.init(Config.EdenBytes);
+  Survivors[0].init(Config.SurvivorBytes);
+  Survivors[1].init(Config.SurvivorBytes);
+}
+
+ObjectMemory::~ObjectMemory() = default;
+
+MutatorContext *ObjectMemory::registerMutator(const std::string &Name) {
+  assert(CurrentMutator == nullptr && "thread already registered");
+  auto M = std::make_unique<MutatorContext>();
+  M->Name = Name;
+  std::lock_guard<std::mutex> Guard(MutatorsMutex);
+  M->Id = static_cast<unsigned>(Mutators.size());
+  CurrentMutator = M.get();
+  Mutators.push_back(std::move(M));
+  Sp.registerMutator();
+  return CurrentMutator;
+}
+
+void ObjectMemory::unregisterMutator() {
+  assert(CurrentMutator && "thread not registered");
+  assert(CurrentMutator->Handles.cells().empty() &&
+         "live handles at mutator exit");
+  // Drop the TLAB (the remaining space is abandoned until the next
+  // scavenge) and deactivate. The MutatorContext object itself stays owned
+  // by the Mutators vector so handle-stack iteration never races.
+  CurrentMutator->TlabCur = CurrentMutator->TlabEnd = nullptr;
+  CurrentMutator = nullptr;
+  Sp.unregisterMutator();
+}
+
+MutatorContext &ObjectMemory::mutator() {
+  assert(CurrentMutator && "calling thread is not a registered mutator");
+  return *CurrentMutator;
+}
+
+void ObjectMemory::initHeader(ObjectHeader *H, Oop Cls, uint32_t Slots,
+                              ObjectFormat Format, uint32_t ByteLen,
+                              bool IsOld) {
+  H->setClassOop(Cls);
+  H->SlotCount = Slots;
+  H->Hash = NextHash.fetch_add(1, std::memory_order_relaxed);
+  H->ByteLength = Format == ObjectFormat::Bytes ? ByteLen : 0;
+  H->Format = Format;
+  H->Flags = IsOld ? FlagOld : 0;
+  H->Age = 0;
+  H->Unused = 0;
+}
+
+void ObjectMemory::fillWithNil(ObjectHeader *H) {
+  Oop *Slots = H->slots();
+  for (uint32_t I = 0; I < H->SlotCount; ++I)
+    Slots[I] = Nil;
+}
+
+uint8_t *ObjectMemory::allocateNewRaw(size_t TotalBytes, bool &WentOld) {
+  WentOld = false;
+  // Oversized requests go straight to old space; they would thrash eden.
+  if (TotalBytes > Config.EdenBytes / 4) {
+    WentOld = true;
+    return Old.allocate(TotalBytes);
+  }
+
+  MutatorContext &M = mutator();
+  for (;;) {
+    // Allocation is a GC point: honor a pending stop-the-world first.
+    if (Sp.pollNeeded())
+      Sp.pollSlow();
+
+    if (Config.Allocator == AllocatorKind::Tlab) {
+      if (M.TlabCur && M.TlabCur + TotalBytes <= M.TlabEnd) {
+        uint8_t *Result = M.TlabCur;
+        M.TlabCur += TotalBytes;
+        return Result;
+      }
+      // Refill the thread-local buffer from eden.
+      size_t Refill = Config.TlabBytes > TotalBytes ? Config.TlabBytes
+                                                    : TotalBytes;
+      if (uint8_t *Buf = Eden.tryBumpAtomic(Refill)) {
+        M.TlabCur = Buf;
+        M.TlabEnd = Buf + Refill;
+        continue;
+      }
+    } else {
+      // Serialized policy: MS's published design — a spin lock around a
+      // bump pointer ("little more than incrementing a pointer").
+      AllocLock.lock();
+      uint8_t *Result = Eden.tryBumpAtomic(TotalBytes);
+      AllocLock.unlock();
+      if (Result)
+        return Result;
+    }
+
+    // Eden exhausted: scavenge and retry.
+    if (Sp.requestStopTheWorld()) {
+      performScavenge();
+      Sp.resume();
+    }
+    // If requestStopTheWorld returned false another thread's scavenge just
+    // completed; either way eden has been reset — retry the allocation.
+  }
+}
+
+Oop ObjectMemory::allocateNew(Oop Cls, uint32_t Slots, ObjectFormat Format,
+                              uint32_t ByteLen) {
+  size_t Total = sizeof(ObjectHeader) + size_t(Slots) * sizeof(Oop);
+  // The class oop must survive the potential scavenge inside the raw
+  // allocation (classes are normally old, but nothing forbids young ones).
+  Handle ClsHandle(handles(), Cls);
+  bool WentOld = false;
+  uint8_t *Mem = allocateNewRaw(Total, WentOld);
+  auto *H = reinterpret_cast<ObjectHeader *>(Mem);
+  initHeader(H, ClsHandle.get(), Slots, Format, ByteLen, WentOld);
+  if (Format == ObjectFormat::Bytes)
+    std::memset(H->bytes(), 0, size_t(Slots) * sizeof(Oop));
+  else
+    fillWithNil(H);
+  return Oop::fromObject(H);
+}
+
+Oop ObjectMemory::allocateOld(Oop Cls, uint32_t Slots, ObjectFormat Format,
+                              uint32_t ByteLen) {
+  size_t Total = sizeof(ObjectHeader) + size_t(Slots) * sizeof(Oop);
+  auto *H = reinterpret_cast<ObjectHeader *>(Old.allocate(Total));
+  initHeader(H, Cls, Slots, Format, ByteLen, /*IsOld=*/true);
+  if (Format == ObjectFormat::Bytes)
+    std::memset(H->bytes(), 0, size_t(Slots) * sizeof(Oop));
+  else
+    fillWithNil(H);
+  return Oop::fromObject(H);
+}
+
+Oop ObjectMemory::allocatePointers(Oop Cls, uint32_t Slots) {
+  return allocateNew(Cls, Slots, ObjectFormat::Pointers, 0);
+}
+
+Oop ObjectMemory::allocateBytes(Oop Cls, uint32_t ByteLen) {
+  return allocateNew(Cls, slotsForBytes(ByteLen), ObjectFormat::Bytes,
+                     ByteLen);
+}
+
+Oop ObjectMemory::allocateContextObject(Oop Cls, uint32_t Slots) {
+  assert(Slots > ContextSpSlotIndex && "context too small for its header");
+  return allocateNew(Cls, Slots, ObjectFormat::Context, 0);
+}
+
+Oop ObjectMemory::allocateOldPointers(Oop Cls, uint32_t Slots) {
+  return allocateOld(Cls, Slots, ObjectFormat::Pointers, 0);
+}
+
+Oop ObjectMemory::allocateOldBytes(Oop Cls, uint32_t ByteLen) {
+  return allocateOld(Cls, slotsForBytes(ByteLen), ObjectFormat::Bytes,
+                     ByteLen);
+}
+
+Oop ObjectMemory::allocateOldContextObject(Oop Cls, uint32_t Slots) {
+  assert(Slots > ContextSpSlotIndex && "context too small for its header");
+  return allocateOld(Cls, Slots, ObjectFormat::Context, 0);
+}
+
+void ObjectMemory::addRootWalker(RootWalker Walker) {
+  std::lock_guard<std::mutex> Guard(RootsMutex);
+  RootWalkers.push_back(std::move(Walker));
+}
+
+void ObjectMemory::addPreScavengeHook(std::function<void()> Hook) {
+  std::lock_guard<std::mutex> Guard(RootsMutex);
+  PreScavengeHooks.push_back(std::move(Hook));
+}
+
+void ObjectMemory::scavengeNow() {
+  while (!Sp.requestStopTheWorld()) {
+    // Another thread's scavenge ran; ours was explicitly requested, so
+    // keep trying until we are the coordinator.
+  }
+  performScavenge();
+  Sp.resume();
+}
+
+void ObjectMemory::performScavenge() {
+  Stopwatch Watch;
+  uint64_t EdenUsedNow = Eden.used();
+
+  {
+    std::lock_guard<std::mutex> Guard(RootsMutex);
+    for (auto &Hook : PreScavengeHooks)
+      Hook();
+  }
+  // Flush every mutator's TLAB: the unconsumed tail becomes a dead hole in
+  // eden (never scanned — the scavenger traces from roots only).
+  {
+    std::lock_guard<std::mutex> Guard(MutatorsMutex);
+    for (auto &M : Mutators)
+      M->TlabCur = M->TlabEnd = nullptr;
+  }
+
+  Scavenger Scav(*this);
+  Scav.run();
+
+  double Pause = Watch.seconds();
+  std::lock_guard<std::mutex> Guard(StatsMutex);
+  ++Stats.Scavenges;
+  Stats.LastPauseSec = Pause;
+  Stats.TotalPauseSec += Pause;
+  if (Pause > Stats.MaxPauseSec)
+    Stats.MaxPauseSec = Pause;
+  Stats.BytesCopied += Scav.bytesCopied();
+  Stats.BytesTenured += Scav.bytesTenured();
+  Stats.ObjectsCopied += Scav.objectsCopied();
+  Stats.ObjectsTenured += Scav.objectsTenured();
+  Stats.EdenBytesAllocated += EdenUsedNow;
+}
+
+ScavengeStats ObjectMemory::statsSnapshot() {
+  std::lock_guard<std::mutex> Guard(StatsMutex);
+  return Stats;
+}

@@ -1,0 +1,270 @@
+//===-- objmem/ObjectMemory.h - Generation-scavenged heap -------*- C++ -*-===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The object memory: a Generation Scavenging heap (Ungar 1984) shared by
+/// all interpreter processes, exactly the arrangement MS inherited from BS
+/// (paper §2, §3.1). Serialization and replication appear here as
+/// first-class policies:
+///
+///  - **Allocation** is serialized with a spin lock ("little more than
+///    incrementing a pointer", brief and comparatively infrequent), or
+///    replicated per-interpreter with thread-local allocation buffers —
+///    the improvement the paper proposes in §4.
+///  - **Garbage collection** is serialized behind a stop-the-world
+///    safepoint; optionally several processors are applied to one scavenge.
+///  - **Entry table** updates are serialized with one lock on the array
+///    that also synchronizes the remembered-flag tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MST_OBJMEM_OBJECTMEMORY_H
+#define MST_OBJMEM_OBJECTMEMORY_H
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "objmem/Handles.h"
+#include "objmem/MemoryConfig.h"
+#include "objmem/ObjectHeader.h"
+#include "objmem/Oop.h"
+#include "objmem/RememberedSet.h"
+#include "objmem/Safepoint.h"
+#include "objmem/Spaces.h"
+#include "vkernel/SpinLock.h"
+
+namespace mst {
+
+class Scavenger;
+
+/// Context slot index holding the stack pointer (a SmallInteger, the index
+/// of the topmost live slot). The scavenger scans Format::Context objects
+/// only up to this bound; the VM layer maintains the convention.
+constexpr uint32_t ContextSpSlotIndex = 2;
+
+/// Per-mutator-thread state: allocation buffer and handle stack.
+struct MutatorContext {
+  unsigned Id = 0;
+  std::string Name;
+  /// Thread-local allocation buffer (AllocatorKind::Tlab only).
+  uint8_t *TlabCur = nullptr;
+  uint8_t *TlabEnd = nullptr;
+  /// Oop cells protected across allocation points.
+  HandleStack Handles;
+};
+
+/// Cumulative scavenger statistics, for the §3.1 "3% of processor time"
+/// and r/s scavenge-frequency experiments.
+struct ScavengeStats {
+  uint64_t Scavenges = 0;
+  double TotalPauseSec = 0.0;
+  double LastPauseSec = 0.0;
+  double MaxPauseSec = 0.0;
+  uint64_t BytesCopied = 0;
+  uint64_t BytesTenured = 0;
+  uint64_t ObjectsCopied = 0;
+  uint64_t ObjectsTenured = 0;
+  /// Eden bytes consumed over the lifetime of the heap (allocation rate r
+  /// integrates this over time).
+  uint64_t EdenBytesAllocated = 0;
+};
+
+/// The shared object memory.
+class ObjectMemory {
+public:
+  /// A root walker is called with a visitor; it must invoke the visitor on
+  /// the address of every oop cell it owns. Called with the world stopped.
+  using OopVisitor = std::function<void(Oop *)>;
+  using RootWalker = std::function<void(const OopVisitor &)>;
+
+  explicit ObjectMemory(const MemoryConfig &Config);
+  ~ObjectMemory();
+
+  ObjectMemory(const ObjectMemory &) = delete;
+  ObjectMemory &operator=(const ObjectMemory &) = delete;
+
+  const MemoryConfig &config() const { return Config; }
+
+  /// --- Mutator lifecycle -------------------------------------------------
+
+  /// Registers the calling thread as a mutator; required before any
+  /// allocation or heap access from that thread.
+  MutatorContext *registerMutator(const std::string &Name);
+
+  /// Unregisters the calling thread. Its handle stack must be empty.
+  void unregisterMutator();
+
+  /// \returns the calling thread's mutator context.
+  MutatorContext &mutator();
+
+  /// \returns the calling thread's handle stack.
+  HandleStack &handles() { return mutator().Handles; }
+
+  /// --- The distinguished nil object --------------------------------------
+
+  /// Sets the oop used to fill fresh pointer objects. Must be an old-space
+  /// object (it is never moved). Called once during bootstrap.
+  void setNil(Oop NilOop) { Nil = NilOop; }
+
+  Oop nil() const { return Nil; }
+
+  /// --- Allocation ---------------------------------------------------------
+  /// New-space allocation may trigger a scavenge: every call is a GC point.
+  /// Callers must hold no raw object pointers across these calls unless
+  /// protected by handles.
+
+  /// Allocates a pointers object with \p Slots nil-filled fields.
+  Oop allocatePointers(Oop Cls, uint32_t Slots);
+
+  /// Allocates a byte object of exactly \p ByteLen zero-filled bytes.
+  Oop allocateBytes(Oop Cls, uint32_t ByteLen);
+
+  /// Allocates a context object (Format::Context) with \p Slots fields.
+  Oop allocateContextObject(Oop Cls, uint32_t Slots);
+
+  /// Allocates directly in old space (bootstrap / permanent objects).
+  /// Never triggers a scavenge.
+  Oop allocateOldPointers(Oop Cls, uint32_t Slots);
+  Oop allocateOldBytes(Oop Cls, uint32_t ByteLen);
+  /// Old-space context allocation (snapshot loading).
+  Oop allocateOldContextObject(Oop Cls, uint32_t Slots);
+
+  /// Raises the identity-hash counter above \p H (snapshot loading keeps
+  /// loaded hashes; fresh objects must not collide systematically).
+  void ensureHashCounterAbove(uint32_t H) {
+    uint32_t Cur = NextHash.load(std::memory_order_relaxed);
+    while (Cur <= H &&
+           !NextHash.compare_exchange_weak(Cur, H + 1,
+                                           std::memory_order_relaxed)) {
+    }
+  }
+
+  /// --- Field access -------------------------------------------------------
+
+  /// \returns field \p I of \p Obj. No barrier needed on reads.
+  static Oop fetchPointer(Oop Obj, uint32_t I) {
+    ObjectHeader *H = Obj.object();
+    // Out-of-range fetches indicate VM corruption; diagnose loudly even
+    // though the assert aborts right after (release builds keep asserts).
+    if (I >= H->SlotCount)
+      std::fprintf(stderr,
+                   "fetchPointer out of range: index %u, %u slots, "
+                   "format %d\n",
+                   I, H->SlotCount, static_cast<int>(H->Format));
+    assert(I < H->SlotCount && "fetchPointer out of range");
+    return H->slots()[I];
+  }
+
+  /// Stores \p V into field \p I of \p Obj with the generational write
+  /// barrier; additionally marks stored contexts as escaped so they are
+  /// never recycled onto a free context list.
+  void storePointer(Oop Obj, uint32_t I, Oop V) {
+    if (V.isPointer() && V.object()->Format == ObjectFormat::Context)
+      V.object()->setEscaped();
+    storePointerNoEscape(Obj, I, V);
+  }
+
+  /// Stores with the write barrier but without escape marking. Used for
+  /// context linkage (sender/caller fields) where capturing a context is
+  /// part of normal activation, not an escape.
+  void storePointerNoEscape(Oop Obj, uint32_t I, Oop V) {
+    ObjectHeader *H = Obj.object();
+    assert(I < H->SlotCount && "storePointer out of range");
+    H->slots()[I] = V;
+    writeBarrier(H, V);
+  }
+
+  /// The generational write barrier: remembers \p Holder when an old
+  /// object gains a reference to a new one.
+  void writeBarrier(ObjectHeader *Holder, Oop V) {
+    if (Holder->isOld() && V.isPointer() && !V.object()->isOld() &&
+        !Holder->isRemembered())
+      RemSet.remember(Holder);
+  }
+
+  /// --- Roots and scavenge hooks -------------------------------------------
+
+  /// Registers a walker over external root cells (well-known objects, the
+  /// scheduler's queues, interpreter state, the symbol table).
+  void addRootWalker(RootWalker Walker);
+
+  /// Registers a hook run at the start of every scavenge with the world
+  /// stopped (e.g. flushing free context lists, which hold dead objects).
+  void addPreScavengeHook(std::function<void()> Hook);
+
+  /// --- Garbage collection -------------------------------------------------
+
+  /// Performs a stop-the-world scavenge now. The caller must be a
+  /// registered mutator holding no unprotected heap pointers.
+  void scavengeNow();
+
+  Safepoint &safepoint() { return Sp; }
+  RememberedSet &rememberedSet() { return RemSet; }
+
+  /// \returns a snapshot of the scavenger statistics.
+  ScavengeStats statsSnapshot();
+
+  /// \returns bytes currently used in eden (includes TLAB slack).
+  size_t edenUsed() const { return Eden.used(); }
+  size_t edenCapacity() const { return Eden.capacity(); }
+  size_t oldSpaceUsed() const { return Old.used(); }
+
+  /// \returns instrumentation handle on the allocation lock.
+  SpinLock &allocationLock() { return AllocLock; }
+
+private:
+  friend class Scavenger;
+
+  /// Allocates \p TotalBytes in new space, scavenging on exhaustion.
+  /// \returns the block; falls back to old space for oversized requests
+  /// (the caller learns via the header's old flag).
+  uint8_t *allocateNewRaw(size_t TotalBytes, bool &WentOld);
+
+  Oop allocateNew(Oop Cls, uint32_t Slots, ObjectFormat Format,
+                  uint32_t ByteLen);
+  Oop allocateOld(Oop Cls, uint32_t Slots, ObjectFormat Format,
+                  uint32_t ByteLen);
+
+  void initHeader(ObjectHeader *H, Oop Cls, uint32_t Slots,
+                  ObjectFormat Format, uint32_t ByteLen, bool IsOld);
+  void fillWithNil(ObjectHeader *H);
+
+  /// Runs the scavenge with the world stopped (caller is coordinator).
+  void performScavenge();
+
+  MemoryConfig Config;
+  Safepoint Sp;
+  RememberedSet RemSet;
+
+  LinearSpace Eden;
+  LinearSpace Survivors[2];
+  unsigned ActiveSurvivor = 0; // Index of the space holding live survivors.
+  OldSpace Old;
+
+  SpinLock AllocLock;
+  std::atomic<uint32_t> NextHash{1};
+
+  Oop Nil;
+
+  std::mutex MutatorsMutex;
+  std::vector<std::unique_ptr<MutatorContext>> Mutators;
+
+  std::mutex RootsMutex;
+  std::vector<RootWalker> RootWalkers;
+  std::vector<std::function<void()>> PreScavengeHooks;
+
+  std::mutex StatsMutex;
+  ScavengeStats Stats;
+};
+
+} // namespace mst
+
+#endif // MST_OBJMEM_OBJECTMEMORY_H

@@ -1,0 +1,108 @@
+//===-- objmem/Oop.h - Tagged object pointers -------------------*- C++ -*-===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Object-oriented pointers (oops). Like Berkeley Smalltalk, this system
+/// has **no object table** (paper §2): an oop is either an immediate
+/// SmallInteger (low bit set) or a direct pointer to an object body in the
+/// heap. Eliminating the table removes a level of indirection from every
+/// object reference — and is precisely why garbage collection must stop all
+/// interpreters: when objects move there is no table to patch, every
+/// reference must be updated.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MST_OBJMEM_OOP_H
+#define MST_OBJMEM_OOP_H
+
+#include <cstdint>
+#include <functional>
+
+#include "support/Assert.h"
+
+namespace mst {
+
+struct ObjectHeader;
+
+/// A tagged object pointer: SmallInteger immediate or direct object pointer.
+///
+/// Encoding: bit 0 set => SmallInteger, value in the upper 63 bits (signed).
+/// Bit 0 clear => pointer to an ObjectHeader (8-byte aligned). The all-zero
+/// oop is the distinguished "null" used only inside the VM (never visible to
+/// Smalltalk code; Smalltalk nil is a real heap object).
+class Oop {
+public:
+  /// Constructs the internal null oop.
+  constexpr Oop() : Bits(0) {}
+
+  /// \returns the oop encoding the SmallInteger \p Value.
+  static Oop fromSmallInt(intptr_t Value) {
+    return Oop((static_cast<uintptr_t>(Value) << 1) | 1u);
+  }
+
+  /// \returns the oop pointing at heap object \p Object.
+  static Oop fromObject(ObjectHeader *Object) {
+    assert((reinterpret_cast<uintptr_t>(Object) & 1u) == 0 &&
+           "object pointers must be aligned");
+    return Oop(reinterpret_cast<uintptr_t>(Object));
+  }
+
+  /// \returns an oop from its raw bit pattern (used by the scavenger).
+  static Oop fromBits(uintptr_t Bits) { return Oop(Bits); }
+
+  /// \returns true for the internal null oop.
+  bool isNull() const { return Bits == 0; }
+
+  /// \returns true when this oop encodes a SmallInteger.
+  bool isSmallInt() const { return (Bits & 1u) != 0; }
+
+  /// \returns true when this oop points at a heap object.
+  bool isPointer() const { return !isSmallInt() && !isNull(); }
+
+  /// \returns the SmallInteger value. Must be a SmallInteger oop.
+  intptr_t smallInt() const {
+    assert(isSmallInt() && "not a SmallInteger oop");
+    return static_cast<intptr_t>(Bits) >> 1;
+  }
+
+  /// \returns the object header. Must be a pointer oop.
+  ObjectHeader *object() const {
+    assert(isPointer() && "not a pointer oop");
+    return reinterpret_cast<ObjectHeader *>(Bits);
+  }
+
+  /// \returns the raw bit pattern.
+  uintptr_t bits() const { return Bits; }
+
+  friend bool operator==(Oop A, Oop B) { return A.Bits == B.Bits; }
+  friend bool operator!=(Oop A, Oop B) { return A.Bits != B.Bits; }
+
+private:
+  constexpr explicit Oop(uintptr_t Bits) : Bits(Bits) {}
+  uintptr_t Bits;
+};
+
+/// The range of values representable as a SmallInteger immediate.
+constexpr intptr_t SmallIntMax = INTPTR_MAX >> 1;
+constexpr intptr_t SmallIntMin = INTPTR_MIN >> 1;
+
+/// \returns true when \p Value fits in a SmallInteger immediate.
+inline bool fitsSmallInt(intptr_t Value) {
+  return Value >= SmallIntMin && Value <= SmallIntMax;
+}
+
+} // namespace mst
+
+namespace std {
+/// Hashing so oops can key unordered containers (identity semantics).
+template <> struct hash<mst::Oop> {
+  size_t operator()(mst::Oop O) const {
+    return std::hash<uintptr_t>()(O.bits());
+  }
+};
+} // namespace std
+
+#endif // MST_OBJMEM_OOP_H

@@ -1,0 +1,74 @@
+//===-- objmem/RememberedSet.h - The entry table ----------------*- C++ -*-===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Entry table maintenance, "also called remembering or store checking"
+/// (paper §3.1): recording old objects which refer to younger ones, so the
+/// young can be scavenged without scanning all of old space. Like BS, the
+/// set is an array plus a per-object remembered flag; like MS, one lock on
+/// the array also synchronizes the tests on the flag — serialization is
+/// appropriate because stores of young pointers into old objects are brief
+/// and comparatively infrequent.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MST_OBJMEM_REMEMBEREDSET_H
+#define MST_OBJMEM_REMEMBEREDSET_H
+
+#include <cstdint>
+#include <vector>
+
+#include "objmem/ObjectHeader.h"
+#include "vkernel/SpinLock.h"
+
+namespace mst {
+
+/// The set of old objects that may contain references to new objects.
+class RememberedSet {
+public:
+  /// \param LocksEnabled false for the baseline-BS (no-MP) build.
+  explicit RememberedSet(bool LocksEnabled) : Lock(LocksEnabled) {}
+
+  /// Records \p Old in the entry table if it is not already recorded. The
+  /// remembered-flag test runs under the array's lock; callers may (and the
+  /// write barrier does) pre-test the flag without the lock as a fast path,
+  /// which is safe because the flag only transitions false -> true between
+  /// scavenges, and scavenges run with the world stopped.
+  void remember(ObjectHeader *Old) {
+    SpinLockGuard Guard(Lock);
+    if (Old->isRemembered())
+      return;
+    Old->setRemembered(true);
+    Entries.push_back(Old);
+  }
+
+  /// \returns the current entries. Only safe with the world stopped.
+  const std::vector<ObjectHeader *> &entries() const { return Entries; }
+
+  /// Replaces the entries after a scavenge rebuilt the set. Only safe with
+  /// the world stopped; every object in \p NewEntries must have its
+  /// remembered flag set, and every dropped object must have it cleared.
+  void replaceEntries(std::vector<ObjectHeader *> NewEntries) {
+    Entries = std::move(NewEntries);
+  }
+
+  /// \returns the number of remembered objects (diagnostic; racy).
+  size_t size() {
+    SpinLockGuard Guard(Lock);
+    return Entries.size();
+  }
+
+  /// \returns lock instrumentation for the contention benches.
+  SpinLock &lock() { return Lock; }
+
+private:
+  SpinLock Lock;
+  std::vector<ObjectHeader *> Entries;
+};
+
+} // namespace mst
+
+#endif // MST_OBJMEM_REMEMBEREDSET_H

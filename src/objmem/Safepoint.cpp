@@ -1,0 +1,84 @@
+//===-- objmem/Safepoint.cpp - Stop-the-world rendezvous --------*- C++ -*-===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "objmem/Safepoint.h"
+
+#include "support/Assert.h"
+
+using namespace mst;
+
+void Safepoint::registerMutator() {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  ++Mutators;
+}
+
+void Safepoint::unregisterMutator() {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  assert(Mutators > 0 && "unregister without register");
+  --Mutators;
+  // A coordinator may be waiting for this thread; re-evaluate.
+  Cv.notify_all();
+}
+
+void Safepoint::pollSlow() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  if (!Pending && !InProgress)
+    return;
+  ++SafeMutators;
+  Cv.notify_all();
+  Cv.wait(Lock, [this] { return !Pending && !InProgress; });
+  --SafeMutators;
+}
+
+void Safepoint::blockedRegionEnter() {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  ++SafeMutators;
+  Cv.notify_all();
+}
+
+void Safepoint::blockedRegionLeave() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  Cv.wait(Lock, [this] { return !Pending && !InProgress; });
+  assert(SafeMutators > 0 && "blocked-region bookkeeping broken");
+  --SafeMutators;
+}
+
+bool Safepoint::requestStopTheWorld() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  if (Pending || InProgress) {
+    // Someone else is collecting. Park as a safe mutator until their pause
+    // finishes, then tell the caller to retry its allocation.
+    ++SafeMutators;
+    Cv.notify_all();
+    Cv.wait(Lock, [this] { return !Pending && !InProgress; });
+    --SafeMutators;
+    return false;
+  }
+  Pending = true;
+  GlobalFlag.store(true, std::memory_order_seq_cst);
+  // Count ourselves safe while waiting so other requesters' math works.
+  ++SafeMutators;
+  Cv.notify_all();
+  Cv.wait(Lock, [this] { return SafeMutators >= Mutators; });
+  --SafeMutators;
+  Pending = false;
+  InProgress = true;
+  return true;
+}
+
+void Safepoint::resume() {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  assert(InProgress && "resume() without a stopped world");
+  InProgress = false;
+  GlobalFlag.store(false, std::memory_order_seq_cst);
+  Pauses.fetch_add(1, std::memory_order_relaxed);
+  Cv.notify_all();
+}
+
+unsigned Safepoint::mutatorCount() {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  return Mutators;
+}

@@ -1,0 +1,262 @@
+//===-- objmem/Scavenger.cpp - Generation Scavenging ------------*- C++ -*-===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "objmem/Scavenger.h"
+
+#include <cstring>
+#include <thread>
+
+#include "objmem/ObjectMemory.h"
+#include "support/Assert.h"
+
+using namespace mst;
+
+Scavenger::Scavenger(ObjectMemory &OM) : OM(OM) {
+  ToSpace = &OM.Survivors[1 - OM.ActiveSurvivor];
+}
+
+uint32_t Scavenger::liveSlots(const ObjectHeader *Obj) {
+  switch (Obj->Format) {
+  case ObjectFormat::Pointers:
+    return Obj->SlotCount;
+  case ObjectFormat::Bytes:
+    return 0;
+  case ObjectFormat::Context: {
+    Oop Sp = Obj->slots()[ContextSpSlotIndex];
+    if (!Sp.isSmallInt())
+      return Obj->SlotCount;
+    intptr_t Top = Sp.smallInt();
+    if (Top < 0)
+      return 0;
+    uint32_t Live = static_cast<uint32_t>(Top) + 1;
+    return Live < Obj->SlotCount ? Live : Obj->SlotCount;
+  }
+  }
+  MST_UNREACHABLE("unknown object format");
+}
+
+ObjectHeader *Scavenger::copyObject(ObjectHeader *Obj) {
+  assert(!Obj->isOld() && "only new objects are copied");
+  if (Obj->isForwarded())
+    return Obj->forwardee();
+
+  // Capture the class word before copying; a racing worker could install a
+  // forwarding pointer while we memcpy, and the destination must hold the
+  // real class.
+  uintptr_t ClassBits = Obj->ClassBits.load(std::memory_order_acquire);
+  if (ClassBits & 1u)
+    return Obj->forwardee();
+
+  size_t Total = Obj->totalBytes();
+  uint8_t NewAge = static_cast<uint8_t>(Obj->Age + 1);
+  bool Tenure = NewAge >= OM.Config.TenureAge;
+
+  uint8_t *Dest = nullptr;
+  if (!Tenure) {
+    Dest = ToSpace->tryBumpAtomic(Total);
+    if (!Dest)
+      Tenure = true; // Survivor space overflow: tenure early.
+  }
+  if (Tenure)
+    Dest = OM.Old.allocate(Total);
+
+  auto *Copy = reinterpret_cast<ObjectHeader *>(Dest);
+  // The header contains an atomic word; raw memcpy is intended here (the
+  // source is immutable while the world is stopped, modulo the forwarding
+  // CAS below, and the class word is re-stored explicitly).
+  std::memcpy(static_cast<void *>(Copy), static_cast<const void *>(Obj),
+              Total);
+  Copy->ClassBits.store(ClassBits, std::memory_order_relaxed);
+  Copy->Age = Tenure ? 0 : NewAge;
+  Copy->setRemembered(false);
+  if (Tenure)
+    Copy->setOld();
+
+  if (!Obj->tryForwardTo(Copy)) {
+    // Another worker won the copy race; abandon ours (the bump allocation
+    // is wasted, which is harmless and rare).
+    return Obj->forwardee();
+  }
+
+  if (Tenure) {
+    BytesTenured.fetch_add(Total, std::memory_order_relaxed);
+    ObjectsTenured.fetch_add(1, std::memory_order_relaxed);
+    SpinLockGuard Guard(PromotedLock);
+    Promoted.push_back(Copy);
+  } else {
+    BytesCopied.fetch_add(Total, std::memory_order_relaxed);
+    ObjectsCopied.fetch_add(1, std::memory_order_relaxed);
+  }
+  pushWork(Copy);
+  return Copy;
+}
+
+void Scavenger::processCell(Oop *Cell) {
+  Oop V = *Cell;
+  if (!V.isPointer())
+    return;
+  ObjectHeader *O = V.object();
+  if (O->isOld())
+    return;
+  *Cell = Oop::fromObject(copyObject(O));
+}
+
+void Scavenger::scanObject(ObjectHeader *Obj) {
+  // The class reference is a root of the object too. Classes are normally
+  // old, but nothing forbids a young class.
+  {
+    Oop Cls = Oop::fromBits(Obj->ClassBits.load(std::memory_order_relaxed));
+    if (Cls.isPointer() && !Cls.object()->isOld()) {
+      ObjectHeader *Copy = copyObject(Cls.object());
+      Obj->ClassBits.store(Oop::fromObject(Copy).bits(),
+                           std::memory_order_relaxed);
+    }
+  }
+  uint32_t N = liveSlots(Obj);
+  Oop *Slots = Obj->slots();
+  for (uint32_t I = 0; I < N; ++I)
+    processCell(&Slots[I]);
+}
+
+void Scavenger::pushWork(ObjectHeader *Obj) {
+  SpinLockGuard Guard(WorkLock);
+  ScanStack.push_back(Obj);
+}
+
+ObjectHeader *Scavenger::popWork() {
+  SpinLockGuard Guard(WorkLock);
+  if (ScanStack.empty())
+    return nullptr;
+  ObjectHeader *Obj = ScanStack.back();
+  ScanStack.pop_back();
+  return Obj;
+}
+
+void Scavenger::drainLoop(unsigned NumWorkers) {
+  bool Idle = false;
+  for (;;) {
+    ObjectHeader *Obj = popWork();
+    if (Obj) {
+      if (Idle) {
+        Idle = false;
+        IdleWorkers.fetch_sub(1, std::memory_order_acq_rel);
+      }
+      scanObject(Obj);
+      continue;
+    }
+    if (!Idle) {
+      Idle = true;
+      IdleWorkers.fetch_add(1, std::memory_order_acq_rel);
+    }
+    if (IdleWorkers.load(std::memory_order_acquire) == NumWorkers) {
+      // Double-check under the lock: a racing worker may have pushed
+      // between our failed pop and the idle-count read.
+      if ((Obj = popWork())) {
+        Idle = false;
+        IdleWorkers.fetch_sub(1, std::memory_order_acq_rel);
+        scanObject(Obj);
+        continue;
+      }
+      return;
+    }
+    std::this_thread::yield();
+  }
+}
+
+void Scavenger::collectRootCells(std::vector<Oop *> &Cells) {
+  auto Visitor = [&Cells](Oop *Cell) { Cells.push_back(Cell); };
+
+  // The distinguished nil (old, never moves, but uniformity is cheap).
+  Cells.push_back(&OM.Nil);
+
+  // Registered walkers: well-known objects, symbol table, scheduler,
+  // per-interpreter state.
+  {
+    std::lock_guard<std::mutex> Guard(OM.RootsMutex);
+    for (auto &Walker : OM.RootWalkers)
+      Walker(Visitor);
+  }
+
+  // Mutator handle stacks.
+  {
+    std::lock_guard<std::mutex> Guard(OM.MutatorsMutex);
+    for (auto &M : OM.Mutators)
+      for (Oop *Cell : M->Handles.cells())
+        Cells.push_back(Cell);
+  }
+
+  // Live fields of every remembered old object (the entry table's purpose:
+  // scavenge the young without scanning all of old space).
+  for (ObjectHeader *Old : OM.RemSet.entries()) {
+    uint32_t N = liveSlots(Old);
+    Oop *Slots = Old->slots();
+    for (uint32_t I = 0; I < N; ++I)
+      Cells.push_back(&Slots[I]);
+  }
+}
+
+void Scavenger::rebuildRememberedSet() {
+  std::vector<ObjectHeader *> Candidates = OM.RemSet.entries();
+  {
+    SpinLockGuard Guard(PromotedLock);
+    Candidates.insert(Candidates.end(), Promoted.begin(), Promoted.end());
+  }
+  std::vector<ObjectHeader *> NewEntries;
+  for (ObjectHeader *Old : Candidates) {
+    uint32_t N = liveSlots(Old);
+    Oop *Slots = Old->slots();
+    bool RefsYoung = false;
+    for (uint32_t I = 0; I < N && !RefsYoung; ++I) {
+      Oop V = Slots[I];
+      RefsYoung = V.isPointer() && !V.object()->isOld();
+    }
+    Old->setRemembered(RefsYoung);
+    if (RefsYoung)
+      NewEntries.push_back(Old);
+  }
+  OM.RemSet.replaceEntries(std::move(NewEntries));
+}
+
+void Scavenger::run() {
+  assert(ToSpace->used() == 0 && "to-space must be empty before a scavenge");
+
+  std::vector<Oop *> Roots;
+  collectRootCells(Roots);
+
+  unsigned NumWorkers = OM.Config.ScavengeWorkers;
+  if (NumWorkers == 0)
+    NumWorkers = 1;
+
+  if (NumWorkers == 1) {
+    for (Oop *Cell : Roots)
+      processCell(Cell);
+    drainLoop(1);
+  } else {
+    // Partition the roots statically; each worker then drains the shared
+    // scan stack to quiescence.
+    std::vector<std::thread> Workers;
+    for (unsigned W = 1; W < NumWorkers; ++W) {
+      Workers.emplace_back([this, W, NumWorkers, &Roots] {
+        for (size_t I = W; I < Roots.size(); I += NumWorkers)
+          processCell(Roots[I]);
+        drainLoop(NumWorkers);
+      });
+    }
+    for (size_t I = 0; I < Roots.size(); I += NumWorkers)
+      processCell(Roots[I]);
+    drainLoop(NumWorkers);
+    for (auto &T : Workers)
+      T.join();
+  }
+
+  rebuildRememberedSet();
+
+  // Flip spaces: the destination survivor space now holds the survivors;
+  // eden and the previous survivor space are free.
+  OM.Survivors[OM.ActiveSurvivor].reset();
+  OM.ActiveSurvivor = 1 - OM.ActiveSurvivor;
+  OM.Eden.reset();
+}

@@ -1,0 +1,37 @@
+//===-- objmem/Spaces.cpp - Heap spaces -------------------------*- C++ -*-===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "objmem/Spaces.h"
+
+#include "support/Assert.h"
+
+using namespace mst;
+
+void LinearSpace::init(size_t Bytes) {
+  assert(!Storage && "space already initialized");
+  // Over-align to 16 so every object header lands 8-byte aligned.
+  Storage = std::make_unique<uint8_t[]>(Bytes + 16);
+  auto Raw = reinterpret_cast<uintptr_t>(Storage.get());
+  Base = reinterpret_cast<uint8_t *>((Raw + 15) & ~uintptr_t(15));
+  Limit = Base + Bytes;
+  Cur.store(Base, std::memory_order_relaxed);
+}
+
+uint8_t *OldSpace::allocate(size_t Bytes) {
+  assert(Bytes % 8 == 0 && "old-space requests must be 8-byte multiples");
+  SpinLockGuard Guard(Lock);
+  if (Cur == nullptr || Cur + Bytes > Limit) {
+    size_t NewChunk = ChunkBytes > Bytes + 16 ? ChunkBytes : Bytes + 16;
+    Chunks.push_back(std::make_unique<uint8_t[]>(NewChunk));
+    auto Raw = reinterpret_cast<uintptr_t>(Chunks.back().get());
+    Cur = reinterpret_cast<uint8_t *>((Raw + 15) & ~uintptr_t(15));
+    Limit = Cur + NewChunk - 16;
+  }
+  uint8_t *Result = Cur;
+  Cur += Bytes;
+  Used.fetch_add(Bytes, std::memory_order_relaxed);
+  return Result;
+}

@@ -1,0 +1,106 @@
+//===-- objmem/Spaces.h - Heap spaces ---------------------------*- C++ -*-===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The memory regions of the Generation Scavenging heap: a linear
+/// new-object space (eden), two survivor semispaces, and a chunked,
+/// non-moving old space. Survivor spaces support atomic bump allocation so
+/// parallel scavenge workers can copy concurrently.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MST_OBJMEM_SPACES_H
+#define MST_OBJMEM_SPACES_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "vkernel/SpinLock.h"
+
+namespace mst {
+
+/// A contiguous bump-allocated region.
+class LinearSpace {
+public:
+  LinearSpace() = default;
+
+  /// Allocates the backing memory. May be called once.
+  void init(size_t Bytes);
+
+  /// Bump-allocates \p Bytes using an atomic fetch-add (safe for parallel
+  /// scavenge workers). \returns the block, or nullptr when full.
+  uint8_t *tryBumpAtomic(size_t Bytes) {
+    uint8_t *Old = Cur.fetch_add(Bytes, std::memory_order_relaxed);
+    if (Old + Bytes <= Limit)
+      return Old;
+    // Undo the overshoot so used() stays meaningful.
+    Cur.fetch_sub(Bytes, std::memory_order_relaxed);
+    return nullptr;
+  }
+
+  /// Resets the bump pointer, making the whole space free again.
+  void reset() { Cur.store(Base, std::memory_order_relaxed); }
+
+  /// \returns true when \p P points into this space.
+  bool contains(const void *P) const {
+    auto *B = static_cast<const uint8_t *>(P);
+    return B >= Base && B < Limit;
+  }
+
+  /// \returns bytes currently allocated.
+  size_t used() const {
+    return static_cast<size_t>(Cur.load(std::memory_order_relaxed) - Base);
+  }
+
+  /// \returns the capacity in bytes.
+  size_t capacity() const { return static_cast<size_t>(Limit - Base); }
+
+  /// \returns the start of the space (for linear scans).
+  uint8_t *base() const { return Base; }
+
+  /// \returns the current allocation frontier.
+  uint8_t *frontier() const { return Cur.load(std::memory_order_relaxed); }
+
+private:
+  std::unique_ptr<uint8_t[]> Storage;
+  uint8_t *Base = nullptr;
+  uint8_t *Limit = nullptr;
+  std::atomic<uint8_t *> Cur{nullptr};
+};
+
+/// The non-moving old generation: a list of chunks, grown on demand.
+/// Allocation is serialized by a spin lock; old-space allocation happens
+/// only at bootstrap, at tenuring time, and for objects too large for eden,
+/// so contention is rare (the paper's criterion for serialization).
+class OldSpace {
+public:
+  /// \param ChunkBytes size of each chunk.
+  /// \param LocksEnabled false for the baseline-BS (no-MP) build.
+  OldSpace(size_t ChunkBytes, bool LocksEnabled)
+      : ChunkBytes(ChunkBytes), Lock(LocksEnabled) {}
+
+  /// Allocates \p Bytes from old space. Never fails short of exhausting
+  /// the host's memory. \returns the block.
+  uint8_t *allocate(size_t Bytes);
+
+  /// \returns total bytes allocated from old space.
+  size_t used() const { return Used.load(std::memory_order_relaxed); }
+
+private:
+  size_t ChunkBytes;
+  SpinLock Lock;
+  std::vector<std::unique_ptr<uint8_t[]>> Chunks;
+  uint8_t *Cur = nullptr;
+  uint8_t *Limit = nullptr;
+  std::atomic<size_t> Used{0};
+};
+
+} // namespace mst
+
+#endif // MST_OBJMEM_SPACES_H

@@ -1,0 +1,85 @@
+//===-- support/Format.cpp - Text table formatting --------------*- C++ -*-===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Format.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace mst;
+
+std::string mst::formatDouble(double Value, int Decimals) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Decimals, Value);
+  return Buf;
+}
+
+std::string mst::padLeft(const std::string &S, size_t Width) {
+  if (S.size() >= Width)
+    return S;
+  return std::string(Width - S.size(), ' ') + S;
+}
+
+std::string mst::padRight(const std::string &S, size_t Width) {
+  if (S.size() >= Width)
+    return S;
+  return S + std::string(Width - S.size(), ' ');
+}
+
+void TextTable::setHeader(std::vector<std::string> Cells) {
+  Header = std::move(Cells);
+}
+
+void TextTable::addRow(std::vector<std::string> Cells) {
+  Rows.push_back(std::move(Cells));
+}
+
+std::string TextTable::render() const {
+  // Compute the width of every column over the header and all rows.
+  std::vector<size_t> Widths;
+  auto Absorb = [&Widths](const std::vector<std::string> &Cells) {
+    if (Cells.size() > Widths.size())
+      Widths.resize(Cells.size(), 0);
+    for (size_t I = 0; I < Cells.size(); ++I)
+      Widths[I] = std::max(Widths[I], Cells[I].size());
+  };
+  Absorb(Header);
+  for (const auto &Row : Rows)
+    Absorb(Row);
+
+  std::string Out;
+  auto Emit = [&](const std::vector<std::string> &Cells) {
+    for (size_t I = 0; I < Cells.size(); ++I) {
+      if (I)
+        Out += "  ";
+      // Left-align the first column (labels), right-align the numbers.
+      Out += I == 0 ? padRight(Cells[I], Widths[I])
+                    : padLeft(Cells[I], Widths[I]);
+    }
+    Out += '\n';
+  };
+  if (!Header.empty()) {
+    Emit(Header);
+    size_t Total = 0;
+    for (size_t I = 0; I < Widths.size(); ++I)
+      Total += Widths[I] + (I ? 2 : 0);
+    Out += std::string(Total, '-');
+    Out += '\n';
+  }
+  for (const auto &Row : Rows)
+    Emit(Row);
+  return Out;
+}
+
+std::string mst::asciiBar(double Value, double MaxValue, size_t MaxWidth) {
+  if (MaxValue <= 0.0 || Value <= 0.0)
+    return "";
+  double Frac = Value / MaxValue;
+  if (Frac > 1.0)
+    Frac = 1.0;
+  size_t Len = static_cast<size_t>(Frac * static_cast<double>(MaxWidth) + 0.5);
+  return std::string(Len, '#');
+}

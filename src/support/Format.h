@@ -1,0 +1,55 @@
+//===-- support/Format.h - Text table formatting ----------------*- C++ -*-===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small text-formatting helpers used by the benchmark harnesses to print
+/// the paper's Table 2 / Figure 2 style output: fixed-width columns, and
+/// ASCII bar charts for the normalized-overhead figure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MST_SUPPORT_FORMAT_H
+#define MST_SUPPORT_FORMAT_H
+
+#include <string>
+#include <vector>
+
+namespace mst {
+
+/// Formats \p Value with \p Decimals fractional digits.
+std::string formatDouble(double Value, int Decimals);
+
+/// Pads \p S with spaces on the left to width \p Width.
+std::string padLeft(const std::string &S, size_t Width);
+
+/// Pads \p S with spaces on the right to width \p Width.
+std::string padRight(const std::string &S, size_t Width);
+
+/// A simple fixed-width text table. Rows are added as string cells; render()
+/// sizes every column to its widest cell and returns the whole table.
+class TextTable {
+public:
+  /// Sets the header row.
+  void setHeader(std::vector<std::string> Cells);
+
+  /// Appends one data row.
+  void addRow(std::vector<std::string> Cells);
+
+  /// \returns the formatted table, one '\n'-terminated line per row.
+  std::string render() const;
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+/// Renders a horizontal ASCII bar of length proportional to
+/// \p Value / \p MaxValue, at most \p MaxWidth characters.
+std::string asciiBar(double Value, double MaxValue, size_t MaxWidth);
+
+} // namespace mst
+
+#endif // MST_SUPPORT_FORMAT_H

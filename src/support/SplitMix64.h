@@ -1,0 +1,49 @@
+//===-- support/SplitMix64.h - Deterministic PRNG ---------------*- C++ -*-===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SplitMix64: a tiny, fast, deterministic pseudo-random generator used by
+/// workload generators and property tests. Determinism matters: benchmark
+/// workloads must be identical across the configurations being compared.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MST_SUPPORT_SPLITMIX64_H
+#define MST_SUPPORT_SPLITMIX64_H
+
+#include <cstdint>
+
+namespace mst {
+
+/// Deterministic 64-bit PRNG (Steele, Lea & Flood's SplitMix64).
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  /// \returns the next 64-bit pseudo-random value.
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// \returns a value uniformly distributed in [0, Bound). \p Bound must be
+  /// nonzero.
+  uint64_t nextBelow(uint64_t Bound) { return next() % Bound; }
+
+  /// \returns a double uniformly distributed in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace mst
+
+#endif // MST_SUPPORT_SPLITMIX64_H

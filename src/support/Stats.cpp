@@ -1,0 +1,34 @@
+//===-- support/Stats.cpp - Running statistics ------------------*- C++ -*-===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Stats.h"
+
+#include <cmath>
+
+using namespace mst;
+
+void RunningStats::add(double X) {
+  ++N;
+  Total += X;
+  if (N == 1) {
+    Mean = Min = Max = X;
+    M2 = 0.0;
+    return;
+  }
+  double Delta = X - Mean;
+  Mean += Delta / static_cast<double>(N);
+  M2 += Delta * (X - Mean);
+  if (X < Min)
+    Min = X;
+  if (X > Max)
+    Max = X;
+}
+
+double RunningStats::stddev() const {
+  if (N < 2)
+    return 0.0;
+  return std::sqrt(M2 / static_cast<double>(N - 1));
+}

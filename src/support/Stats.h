@@ -1,0 +1,58 @@
+//===-- support/Stats.h - Running statistics --------------------*- C++ -*-===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Streaming statistics accumulator (Welford's algorithm) used by the
+/// benchmark harnesses to report mean/min/max/stddev over repetitions, and
+/// by the scavenger to report pause-time distributions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MST_SUPPORT_STATS_H
+#define MST_SUPPORT_STATS_H
+
+#include <cstdint>
+
+namespace mst {
+
+/// Accumulates samples and reports summary statistics without storing the
+/// individual values.
+class RunningStats {
+public:
+  /// Adds one sample.
+  void add(double X);
+
+  /// \returns the number of samples added so far.
+  uint64_t count() const { return N; }
+
+  /// \returns the arithmetic mean, or 0 if no samples were added.
+  double mean() const { return N ? Mean : 0.0; }
+
+  /// \returns the smallest sample, or 0 if no samples were added.
+  double min() const { return N ? Min : 0.0; }
+
+  /// \returns the largest sample, or 0 if no samples were added.
+  double max() const { return N ? Max : 0.0; }
+
+  /// \returns the sum of all samples.
+  double sum() const { return Total; }
+
+  /// \returns the sample standard deviation (N-1 denominator), or 0 for
+  /// fewer than two samples.
+  double stddev() const;
+
+private:
+  uint64_t N = 0;
+  double Mean = 0.0;
+  double M2 = 0.0;
+  double Min = 0.0;
+  double Max = 0.0;
+  double Total = 0.0;
+};
+
+} // namespace mst
+
+#endif // MST_SUPPORT_STATS_H

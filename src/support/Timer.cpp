@@ -1,0 +1,19 @@
+//===-- support/Timer.cpp - Wall-clock and thread-CPU time ----------------===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Timer.h"
+
+#include <ctime>
+
+using namespace mst;
+
+uint64_t mst::threadCpuMicros() {
+  timespec Ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &Ts) != 0)
+    return 0;
+  return static_cast<uint64_t>(Ts.tv_sec) * 1000000u +
+         static_cast<uint64_t>(Ts.tv_nsec) / 1000u;
+}

@@ -1,0 +1,20 @@
+//===-- vkernel/Delay.cpp - The kernel Delay operation ----------*- C++ -*-===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vkernel/Delay.h"
+
+#include <chrono>
+#include <thread>
+
+using namespace mst;
+
+void mst::vkDelay(uint64_t Micros) {
+  if (Micros == 0) {
+    std::this_thread::yield();
+    return;
+  }
+  std::this_thread::sleep_for(std::chrono::microseconds(Micros));
+}

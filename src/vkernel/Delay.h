@@ -1,0 +1,27 @@
+//===-- vkernel/Delay.h - The kernel Delay operation ------------*- C++ -*-===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The V kernel's Delay operation. A delay with a minimal timeout allows
+/// process switching to occur, if necessary, and avoids monopolizing the
+/// memory bus while a spin lock is contended (paper §3.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MST_VKERNEL_DELAY_H
+#define MST_VKERNEL_DELAY_H
+
+#include <cstdint>
+
+namespace mst {
+
+/// Suspends the calling process for \p Micros microseconds. A zero timeout
+/// is the "minimal timeout": it yields the processor without a timed sleep.
+void vkDelay(uint64_t Micros);
+
+} // namespace mst
+
+#endif // MST_VKERNEL_DELAY_H

@@ -1,0 +1,58 @@
+//===-- vkernel/IpcChannel.cpp - Send/Receive/Reply IPC ---------*- C++ -*-===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vkernel/IpcChannel.h"
+
+#include "support/Assert.h"
+
+using namespace mst;
+
+uint64_t IpcChannel::send(uint64_t Request) {
+  Message Msg;
+  Msg.Request = Request;
+  std::unique_lock<std::mutex> Lock(Mutex);
+  Queue.push_back(&Msg);
+  Arrived.notify_one();
+  Msg.Cv.wait(Lock, [&Msg] { return Msg.Replied; });
+  return Msg.Response;
+}
+
+IpcChannel::MessageHandle IpcChannel::receive(uint64_t &Request) {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  Arrived.wait(Lock, [this] { return !Queue.empty(); });
+  Message *Msg = Queue.front();
+  Queue.pop_front();
+  ++AwaitingReply;
+  Request = Msg->Request;
+  return Msg;
+}
+
+IpcChannel::MessageHandle IpcChannel::tryReceive(uint64_t &Request) {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  if (Queue.empty())
+    return nullptr;
+  Message *Msg = Queue.front();
+  Queue.pop_front();
+  ++AwaitingReply;
+  Request = Msg->Request;
+  return Msg;
+}
+
+void IpcChannel::reply(MessageHandle Handle, uint64_t Response) {
+  assert(Handle && "reply() needs a handle from receive()");
+  auto *Msg = static_cast<Message *>(Handle);
+  std::unique_lock<std::mutex> Lock(Mutex);
+  assert(AwaitingReply > 0 && "reply() without matching receive()");
+  --AwaitingReply;
+  Msg->Response = Response;
+  Msg->Replied = true;
+  Msg->Cv.notify_one();
+}
+
+unsigned IpcChannel::pendingSenders() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  return static_cast<unsigned>(Queue.size()) + AwaitingReply;
+}

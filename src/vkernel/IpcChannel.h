@@ -1,0 +1,73 @@
+//===-- vkernel/IpcChannel.h - Send/Receive/Reply IPC -----------*- C++ -*-===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The V kernel's message-passing IPC in miniature: a synchronous
+/// Send/Receive/Reply channel. MS uses this (together with a global flag)
+/// to synchronize all interpreter processes for garbage collection, because
+/// scavenging takes too long for spin-locks (paper §3.1).
+///
+/// Semantics follow V: Send blocks the sender until the receiver Replies;
+/// Receive blocks until a message is available and returns a handle the
+/// receiver later passes to Reply.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MST_VKERNEL_IPCCHANNEL_H
+#define MST_VKERNEL_IPCCHANNEL_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+namespace mst {
+
+/// A synchronous message channel with V Send/Receive/Reply semantics.
+class IpcChannel {
+public:
+  /// Opaque handle identifying a received, not-yet-replied message.
+  using MessageHandle = void *;
+
+  IpcChannel() = default;
+  IpcChannel(const IpcChannel &) = delete;
+  IpcChannel &operator=(const IpcChannel &) = delete;
+
+  /// Sends \p Request and blocks until the receiver replies.
+  /// \returns the receiver's reply value.
+  uint64_t send(uint64_t Request);
+
+  /// Blocks until a message arrives. \param [out] Request receives the
+  /// sender's request value. \returns a handle to pass to reply().
+  MessageHandle receive(uint64_t &Request);
+
+  /// Attempts a non-blocking receive. \returns a handle, or nullptr when no
+  /// message is pending.
+  MessageHandle tryReceive(uint64_t &Request);
+
+  /// Replies to the message identified by \p Handle, unblocking its sender.
+  void reply(MessageHandle Handle, uint64_t Response);
+
+  /// \returns the number of senders currently queued or awaiting replies.
+  unsigned pendingSenders();
+
+private:
+  struct Message {
+    uint64_t Request = 0;
+    uint64_t Response = 0;
+    bool Replied = false;
+    std::condition_variable Cv;
+  };
+
+  std::mutex Mutex;
+  std::condition_variable Arrived;
+  std::deque<Message *> Queue;       // Sent, not yet received.
+  unsigned AwaitingReply = 0;        // Received, not yet replied.
+};
+
+} // namespace mst
+
+#endif // MST_VKERNEL_IPCCHANNEL_H

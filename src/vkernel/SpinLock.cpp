@@ -1,0 +1,33 @@
+//===-- vkernel/SpinLock.cpp - Test-and-set spin lock -----------*- C++ -*-===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vkernel/SpinLock.h"
+#include "vkernel/Delay.h"
+
+using namespace mst;
+
+void SpinLock::lock() {
+  if (!Enabled)
+    return;
+  Acquisitions.fetch_add(1, std::memory_order_relaxed);
+  if (Flag.exchange(1, std::memory_order_acquire) == 0)
+    return;
+  Contended.fetch_add(1, std::memory_order_relaxed);
+  // Spin with plain loads (no bus-locking exchange) for a short while, then
+  // fall back to the kernel Delay with a minimal timeout, as MS does.
+  unsigned Spins = 0;
+  for (;;) {
+    while (Flag.load(std::memory_order_relaxed) != 0) {
+      if (++Spins >= 256) {
+        Spins = 0;
+        Delays.fetch_add(1, std::memory_order_relaxed);
+        vkDelay(/*Micros=*/0);
+      }
+    }
+    if (Flag.exchange(1, std::memory_order_acquire) == 0)
+      return;
+  }
+}

@@ -1,0 +1,59 @@
+//===-- vkernel/VKernel.cpp - Lightweight processes -------------*- C++ -*-===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vkernel/VKernel.h"
+
+#include "support/Assert.h"
+
+using namespace mst;
+
+VKernel::VKernel(unsigned NumProcessors) : NumProcessors(NumProcessors) {
+  assert(NumProcessors > 0 && "a kernel needs at least one processor");
+}
+
+VKernel::~VKernel() { joinAll(); }
+
+VProcess *VKernel::createProcess(const std::string &Name,
+                                 std::function<void()> Main) {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  unsigned Id = static_cast<unsigned>(Processes.size());
+  unsigned Processor = NextProcessor;
+  NextProcessor = (NextProcessor + 1) % NumProcessors;
+  auto Proc = std::unique_ptr<VProcess>(new VProcess(Name, Id, Processor));
+  Proc->Thread = std::thread(std::move(Main));
+  Processes.push_back(std::move(Proc));
+  return Processes.back().get();
+}
+
+void VKernel::joinAll() {
+  // Take the list under the lock, but join outside it so a joining thread
+  // does not block process creation by other threads indefinitely.
+  std::vector<VProcess *> ToJoin;
+  {
+    std::lock_guard<std::mutex> Guard(Mutex);
+    for (auto &P : Processes)
+      if (P->Thread.joinable())
+        ToJoin.push_back(P.get());
+  }
+  for (VProcess *P : ToJoin)
+    if (P->Thread.joinable())
+      P->Thread.join();
+}
+
+unsigned VKernel::numProcesses() const {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  return static_cast<unsigned>(Processes.size());
+}
+
+std::vector<unsigned> VKernel::processesOnProcessor(unsigned P) const {
+  assert(P < NumProcessors && "processor index out of range");
+  std::lock_guard<std::mutex> Guard(Mutex);
+  std::vector<unsigned> Ids;
+  for (const auto &Proc : Processes)
+    if (Proc->processor() == P)
+      Ids.push_back(Proc->id());
+  return Ids;
+}

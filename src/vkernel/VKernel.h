@@ -1,0 +1,101 @@
+//===-- vkernel/VKernel.h - Lightweight processes ---------------*- C++ -*-===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A miniature stand-in for the V distributed kernel as MS used it
+/// (paper §2): lightweight processes sharing a single address space,
+/// statically assigned to processors. The Smalltalk interpreter is
+/// replicated by creating one V process per desired interpreter, up to the
+/// number of available processors (paper §3.2).
+///
+/// The kernel maintains a separate list of processes for each virtual
+/// processor — the replicated per-processor ready queues of the Firefly V
+/// port. Assignment is static and round-robin; on real hardware this meant
+/// processors could idle while runnable processes sat on another queue,
+/// which is why MS layers *dynamic* Smalltalk-Process scheduling on top.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MST_VKERNEL_VKERNEL_H
+#define MST_VKERNEL_VKERNEL_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace mst {
+
+class VKernel;
+
+/// One lightweight V process: a thread of machine-code execution inside the
+/// kernel's shared address space.
+class VProcess {
+public:
+  /// \returns the process's diagnostic name.
+  const std::string &name() const { return Name; }
+
+  /// \returns the virtual processor the process is statically assigned to.
+  unsigned processor() const { return Processor; }
+
+  /// \returns a small dense id unique within the owning kernel.
+  unsigned id() const { return Id; }
+
+private:
+  friend class VKernel;
+  VProcess(std::string Name, unsigned Id, unsigned Processor)
+      : Name(std::move(Name)), Id(Id), Processor(Processor) {}
+
+  std::string Name;
+  unsigned Id;
+  unsigned Processor;
+  std::thread Thread;
+};
+
+/// The kernel: owns virtual processors and the processes assigned to them.
+class VKernel {
+public:
+  /// \param NumProcessors number of virtual processors (the Firefly had 5).
+  explicit VKernel(unsigned NumProcessors);
+
+  /// Joins every process that is still running.
+  ~VKernel();
+
+  VKernel(const VKernel &) = delete;
+  VKernel &operator=(const VKernel &) = delete;
+
+  /// Creates and starts a lightweight process running \p Main. The process
+  /// is statically assigned to the next processor in round-robin order.
+  /// \returns a handle owned by the kernel (valid until the kernel dies).
+  VProcess *createProcess(const std::string &Name,
+                          std::function<void()> Main);
+
+  /// Blocks until every created process has finished.
+  void joinAll();
+
+  /// \returns the number of virtual processors.
+  unsigned numProcessors() const { return NumProcessors; }
+
+  /// \returns the number of processes created so far.
+  unsigned numProcesses() const;
+
+  /// \returns the ids of the processes statically assigned to processor
+  /// \p P. Mirrors the per-processor ready-queue replication in the V port.
+  std::vector<unsigned> processesOnProcessor(unsigned P) const;
+
+private:
+  unsigned NumProcessors;
+  mutable std::mutex Mutex;
+  unsigned NextProcessor = 0;
+  std::vector<std::unique_ptr<VProcess>> Processes;
+};
+
+} // namespace mst
+
+#endif // MST_VKERNEL_VKERNEL_H

@@ -1,0 +1,78 @@
+//===-- vm/Ast.h - Method parse tree ----------------------------*- C++ -*-===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abstract syntax tree produced by the parser and consumed by the
+/// code generator. Nodes carry an explicit kind tag (no RTTI).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MST_VM_AST_H
+#define MST_VM_AST_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mst {
+
+struct ExprNode;
+using ExprPtr = std::unique_ptr<ExprNode>;
+
+/// One message in a cascade or send: selector plus arguments.
+struct MessagePart {
+  std::string Selector;
+  std::vector<ExprPtr> Args;
+};
+
+/// An expression (or statement) node.
+struct ExprNode {
+  enum class Kind : uint8_t {
+    IntLit,     ///< IntValue
+    CharLit,    ///< CharValue
+    StrLit,     ///< Text
+    SymLit,     ///< Text
+    ArrayLit,   ///< Elements (literal nodes only)
+    Ident,      ///< Text: variable reference (or self/super/true/...)
+    Assign,     ///< Text := Args[0]
+    Send,       ///< Receiver, Message; SuperSend when receiver is 'super'
+    Cascade,    ///< Receiver, Cascades (>= 2 messages to one receiver)
+    Block,      ///< BlockParams, BlockTemps, Body
+    Return,     ///< ^ Args[0]
+  };
+
+  explicit ExprNode(Kind K) : K(K) {}
+
+  Kind K;
+  intptr_t IntValue = 0;
+  char CharValue = 0;
+  std::string Text;
+
+  ExprPtr Receiver;
+  MessagePart Message;                ///< Send
+  std::vector<MessagePart> Cascades;  ///< Cascade (all messages, in order)
+  std::vector<ExprPtr> Args;          ///< Assign/Return operand, ArrayLit
+  std::vector<ExprPtr> Elements;      ///< ArrayLit elements
+
+  std::vector<std::string> BlockParams;
+  std::vector<std::string> BlockTemps;
+  std::vector<ExprPtr> Body;          ///< Block statements
+};
+
+/// A parsed method.
+struct MethodNode {
+  std::string Selector;
+  std::vector<std::string> Params;
+  std::vector<std::string> Temps;
+  int PrimitiveIndex = 0; ///< from <primitive: N>; 0 = none
+  std::vector<ExprPtr> Body;
+  std::string Source; ///< original text, stored on the CompiledMethod
+};
+
+} // namespace mst
+
+#endif // MST_VM_AST_H

@@ -1,0 +1,184 @@
+//===-- vm/Bytecode.cpp - The bytecode set ----------------------*- C++ -*-===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Bytecode.h"
+
+#include <cstdio>
+
+#include "support/Assert.h"
+
+using namespace mst;
+
+const char *mst::specialSelectorName(SpecialSelector S) {
+  switch (S) {
+  case SpecialSelector::Add:
+    return "+";
+  case SpecialSelector::Subtract:
+    return "-";
+  case SpecialSelector::Multiply:
+    return "*";
+  case SpecialSelector::IntDivide:
+    return "//";
+  case SpecialSelector::Modulo:
+    return "\\\\";
+  case SpecialSelector::Less:
+    return "<";
+  case SpecialSelector::Greater:
+    return ">";
+  case SpecialSelector::LessEq:
+    return "<=";
+  case SpecialSelector::GreaterEq:
+    return ">=";
+  case SpecialSelector::Equal:
+    return "=";
+  case SpecialSelector::NotEqual:
+    return "~=";
+  case SpecialSelector::IdentityEq:
+    return "==";
+  case SpecialSelector::BitAnd:
+    return "bitAnd:";
+  case SpecialSelector::BitOr:
+    return "bitOr:";
+  case SpecialSelector::BitShift:
+    return "bitShift:";
+  case SpecialSelector::NumSpecialSelectors:
+    break;
+  }
+  MST_UNREACHABLE("bad special selector");
+}
+
+const char *mst::opName(Op O) {
+  switch (O) {
+  case Op::PushSelf:
+    return "PushSelf";
+  case Op::PushNil:
+    return "PushNil";
+  case Op::PushTrue:
+    return "PushTrue";
+  case Op::PushFalse:
+    return "PushFalse";
+  case Op::PushThisContext:
+    return "PushThisContext";
+  case Op::PushTemp:
+    return "PushTemp";
+  case Op::PushInstVar:
+    return "PushInstVar";
+  case Op::PushLiteral:
+    return "PushLiteral";
+  case Op::PushGlobal:
+    return "PushGlobal";
+  case Op::PushSmallInt:
+    return "PushSmallInt";
+  case Op::StoreTemp:
+    return "StoreTemp";
+  case Op::StoreInstVar:
+    return "StoreInstVar";
+  case Op::StoreGlobal:
+    return "StoreGlobal";
+  case Op::Pop:
+    return "Pop";
+  case Op::Dup:
+    return "Dup";
+  case Op::Jump:
+    return "Jump";
+  case Op::JumpIfTrue:
+    return "JumpIfTrue";
+  case Op::JumpIfFalse:
+    return "JumpIfFalse";
+  case Op::Send:
+    return "Send";
+  case Op::SendSuper:
+    return "SendSuper";
+  case Op::SendSpecial:
+    return "SendSpecial";
+  case Op::BlockCopy:
+    return "BlockCopy";
+  case Op::ReturnTop:
+    return "ReturnTop";
+  case Op::ReturnSelf:
+    return "ReturnSelf";
+  case Op::BlockReturn:
+    return "BlockReturn";
+  }
+  MST_UNREACHABLE("bad opcode");
+}
+
+unsigned mst::instructionLength(const uint8_t *Code, uint32_t Ip) {
+  switch (static_cast<Op>(Code[Ip])) {
+  case Op::PushSelf:
+  case Op::PushNil:
+  case Op::PushTrue:
+  case Op::PushFalse:
+  case Op::PushThisContext:
+  case Op::Pop:
+  case Op::Dup:
+  case Op::ReturnTop:
+  case Op::ReturnSelf:
+  case Op::BlockReturn:
+    return 1;
+  case Op::PushTemp:
+  case Op::PushInstVar:
+  case Op::PushLiteral:
+  case Op::PushGlobal:
+  case Op::PushSmallInt:
+  case Op::StoreTemp:
+  case Op::StoreInstVar:
+  case Op::StoreGlobal:
+  case Op::SendSpecial:
+    return 2;
+  case Op::Jump:
+  case Op::JumpIfTrue:
+  case Op::JumpIfFalse:
+  case Op::Send:
+  case Op::SendSuper:
+    return 3;
+  case Op::BlockCopy:
+    return 5;
+  }
+  MST_UNREACHABLE("bad opcode in instructionLength");
+}
+
+std::string mst::disassembleOne(const uint8_t *Code, uint32_t Ip) {
+  char Buf[96];
+  Op O = static_cast<Op>(Code[Ip]);
+  switch (instructionLength(Code, Ip)) {
+  case 1:
+    std::snprintf(Buf, sizeof(Buf), "%4u: %s", Ip, opName(O));
+    break;
+  case 2:
+    if (O == Op::SendSpecial)
+      std::snprintf(Buf, sizeof(Buf), "%4u: %s %s", Ip, opName(O),
+                    specialSelectorName(
+                        static_cast<SpecialSelector>(Code[Ip + 1])));
+    else if (O == Op::PushSmallInt)
+      std::snprintf(Buf, sizeof(Buf), "%4u: %s %d", Ip, opName(O),
+                    static_cast<int8_t>(Code[Ip + 1]));
+    else
+      std::snprintf(Buf, sizeof(Buf), "%4u: %s %u", Ip, opName(O),
+                    Code[Ip + 1]);
+    break;
+  case 3:
+    if (O == Op::Send || O == Op::SendSuper) {
+      std::snprintf(Buf, sizeof(Buf), "%4u: %s lit%u argc%u", Ip, opName(O),
+                    Code[Ip + 1], Code[Ip + 2]);
+    } else {
+      int16_t Off = static_cast<int16_t>(Code[Ip + 1] |
+                                         (Code[Ip + 2] << 8));
+      std::snprintf(Buf, sizeof(Buf), "%4u: %s %+d (-> %u)", Ip, opName(O),
+                    Off, Ip + 3 + Off);
+    }
+    break;
+  case 5: {
+    uint16_t Skip = static_cast<uint16_t>(Code[Ip + 3] | (Code[Ip + 4] << 8));
+    std::snprintf(Buf, sizeof(Buf), "%4u: %s nargs%u frame%u skip%u", Ip,
+                  opName(O), Code[Ip + 1], Code[Ip + 2], Skip);
+    break;
+  }
+  default:
+    MST_UNREACHABLE("bad instruction length");
+  }
+  return Buf;
+}

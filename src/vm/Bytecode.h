@@ -1,0 +1,116 @@
+//===-- vm/Bytecode.h - The bytecode set ------------------------*- C++ -*-===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The byte codes executed by the interpreter. The set is blue-book
+/// flavoured but encoded plainly (explicit operand bytes) for clarity.
+///
+/// The compiler inlines the control-flow selectors (ifTrue:, whileTrue:,
+/// and:, to:do:, ...) into jumps, so the paper's idle Process —
+/// `[true] whileTrue` — compiles to code that neither looks up messages
+/// nor allocates memory (paper §4).
+///
+/// Arithmetic and comparison use *special sends*: one bytecode that tries
+/// the SmallInteger fast path inline and falls back to a real message send,
+/// so simple loops do not hammer the method cache.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MST_VM_BYTECODE_H
+#define MST_VM_BYTECODE_H
+
+#include <cstdint>
+#include <string>
+
+namespace mst {
+
+/// Opcode values. Multi-byte instructions document their operands.
+enum class Op : uint8_t {
+  // --- pushes
+  PushSelf,        ///< push receiver
+  PushNil,
+  PushTrue,
+  PushFalse,
+  PushThisContext, ///< push the active context (escapes it)
+  PushTemp,        ///< u8 index: push temporary/argument
+  PushInstVar,     ///< u8 index: push receiver instance variable
+  PushLiteral,     ///< u8 literal index: push literal value
+  PushGlobal,      ///< u8 literal index of an Association: push its value
+  PushSmallInt,    ///< s8 immediate: push a SmallInteger constant
+
+  // --- stores (leave the value on the stack; pair with Pop)
+  StoreTemp,       ///< u8 index
+  StoreInstVar,    ///< u8 index
+  StoreGlobal,     ///< u8 literal index of an Association
+
+  // --- stack shuffling
+  Pop,
+  Dup,
+
+  // --- control flow (offsets are signed 16-bit, relative to the byte
+  //     after the operand)
+  Jump,            ///< s16 offset
+  JumpIfTrue,      ///< s16 offset; pops the condition (must be a Boolean)
+  JumpIfFalse,     ///< s16 offset; pops the condition (must be a Boolean)
+
+  // --- message sends
+  Send,            ///< u8 selector literal index, u8 argument count
+  SendSuper,       ///< u8 selector literal index, u8 argument count
+  SendSpecial,     ///< u8 SpecialSelector code: inline SmallInteger fast
+                   ///< path, else a normal send of the mapped selector
+
+  // --- blocks
+  BlockCopy,       ///< u8 numArgs, u8 frameSlots, u16 skip: create a
+                   ///< BlockContext whose initial IP is the byte after the
+                   ///< operands, then jump forward by skip (past the body)
+
+  // --- returns
+  ReturnTop,       ///< ^expr: method return (non-local when in a block)
+  ReturnSelf,      ///< implicit method return of the receiver
+  BlockReturn,     ///< end of block body: return top of stack to caller
+};
+
+/// Special-send codes: selectors with an inline SmallInteger fast path.
+enum class SpecialSelector : uint8_t {
+  Add,        // +
+  Subtract,   // -
+  Multiply,   // *
+  IntDivide,  // //
+  Modulo,     // \\ (floored)
+  Less,       // <
+  Greater,    // >
+  LessEq,     // <=
+  GreaterEq,  // >=
+  Equal,      // =
+  NotEqual,   // ~=
+  IdentityEq, // ==
+  BitAnd,     // bitAnd:
+  BitOr,      // bitOr:
+  BitShift,   // bitShift:
+  NumSpecialSelectors,
+};
+
+/// \returns the selector text for \p S (e.g. "+", "bitShift:").
+const char *specialSelectorName(SpecialSelector S);
+
+/// \returns the argument count of special selector \p S (always 1 in the
+/// current set; kept explicit for future growth).
+inline unsigned specialSelectorArgc(SpecialSelector) { return 1; }
+
+/// \returns a human-readable opcode name.
+const char *opName(Op O);
+
+/// \returns the total instruction length in bytes for the opcode at
+/// \p Code[Ip] (opcode byte included).
+unsigned instructionLength(const uint8_t *Code, uint32_t Ip);
+
+/// Disassembles one instruction for debugging / the decompiler tests.
+/// \returns e.g. "12: Send lit3 argc2".
+std::string disassembleOne(const uint8_t *Code, uint32_t Ip);
+
+} // namespace mst
+
+#endif // MST_VM_BYTECODE_H

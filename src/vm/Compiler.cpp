@@ -1,0 +1,66 @@
+//===-- vm/Compiler.cpp - Compilation driver --------------------*- C++ -*-===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Compiler.h"
+
+#include <cstdio>
+
+#include "support/Assert.h"
+#include "vm/CodeGen.h"
+#include "vm/MethodCache.h"
+#include "vm/Parser.h"
+
+using namespace mst;
+
+CompileResult mst::compileMethodSource(ObjectModel &Om, Oop Cls,
+                                       const std::string &Source) {
+  Parser P(Source);
+  MethodNode M;
+  if (!P.parseMethod(M))
+    return {Oop(), P.errorMessage()};
+  CodeGen Gen(Om, Cls);
+  std::string Error;
+  Oop Method = Gen.generate(M, Error);
+  if (Method.isNull())
+    return {Oop(), Error};
+  return {Method, ""};
+}
+
+CompileResult mst::compileDoItSource(ObjectModel &Om, Oop Cls,
+                                     const std::string &Source) {
+  Parser P(Source);
+  MethodNode M;
+  if (!P.parseDoIt(M))
+    return {Oop(), P.errorMessage()};
+  CodeGen Gen(Om, Cls);
+  std::string Error;
+  Oop Method = Gen.generate(M, Error);
+  if (Method.isNull())
+    return {Oop(), Error};
+  return {Method, ""};
+}
+
+void mst::installMethod(ObjectModel &Om, MethodCache *Cache, Oop Cls,
+                        Oop Method) {
+  Oop Selector = ObjectMemory::fetchPointer(Method, MthSelector);
+  Om.mdAddMethod(Cls, Selector, Method);
+  if (Cache)
+    Cache->flushSelector(Selector);
+}
+
+Oop mst::mustCompile(ObjectModel &Om, MethodCache *Cache, Oop Cls,
+                     const std::string &Source) {
+  CompileResult R = compileMethodSource(Om, Cls, Source);
+  if (!R.ok()) {
+    std::fprintf(stderr,
+                 "bootstrap compile error in %s: %s\nsource:\n%s\n",
+                 Om.className(Cls).c_str(), R.Error.c_str(),
+                 Source.c_str());
+    std::abort();
+  }
+  installMethod(Om, Cache, Cls, R.Method);
+  return R.Method;
+}

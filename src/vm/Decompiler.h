@@ -1,0 +1,34 @@
+//===-- vm/Decompiler.h - CompiledMethod -> source text ---------*- C++ -*-===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The decompiler behind the "decompile class" macro benchmark (Table 2).
+/// Straight-line code (including literal blocks) is reconstructed into
+/// source-shaped text via a symbolic operand stack; methods containing
+/// inlined control flow fall back to an annotated bytecode listing with
+/// literals resolved — the same traversal and string-building workload
+/// either way.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MST_VM_DECOMPILER_H
+#define MST_VM_DECOMPILER_H
+
+#include <string>
+
+#include "objmem/Oop.h"
+#include "vm/ObjectModel.h"
+
+namespace mst {
+
+/// Decompiles \p Method into source-shaped text. Never fails: methods the
+/// reconstructor cannot handle yield a resolved bytecode listing instead.
+/// Does not allocate in the Smalltalk heap.
+std::string decompileMethod(ObjectModel &Om, Oop Method);
+
+} // namespace mst
+
+#endif // MST_VM_DECOMPILER_H

@@ -1,0 +1,60 @@
+//===-- vm/FreeContextList.cpp - Free stack-frame lists ---------*- C++ -*-===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/FreeContextList.h"
+
+#include "objmem/ObjectHeader.h"
+#include "support/Assert.h"
+#include "vm/ObjectModel.h"
+
+using namespace mst;
+
+FreeContextPool::FreeContextPool(FreeContextKind Kind,
+                                 unsigned NumInterpreters,
+                                 bool LocksEnabled)
+    : Kind(Kind) {
+  unsigned N = Kind == FreeContextKind::Replicated ? NumInterpreters : 1;
+  assert(N > 0 && "need at least one free list");
+  for (unsigned I = 0; I < N; ++I)
+    PerInterp.push_back(std::make_unique<Bins>(LocksEnabled));
+}
+
+Oop FreeContextPool::take(unsigned InterpId, uint32_t Slots) {
+  assert(Slots <= LargeContextSlots && "oversized context request");
+  Bins &B = binsFor(InterpId);
+  std::vector<Oop> &List = Slots <= SmallContextSlots ? B.Small : B.Large;
+  SpinLockGuard Guard(B.Lock);
+  if (List.empty())
+    return Oop();
+  Oop Ctx = List.back();
+  List.pop_back();
+  Reuses.fetch_add(1, std::memory_order_relaxed);
+  return Ctx;
+}
+
+void FreeContextPool::give(unsigned InterpId, Oop Ctx) {
+  ObjectHeader *H = Ctx.object();
+  assert(H->Format == ObjectFormat::Context && "recycling a non-context");
+  assert(!H->isEscaped() && "recycling an escaped context");
+  // Old (tenured) contexts stay out of the pool: reusing them would demand
+  // remembered-set maintenance on every reuse for no benefit.
+  if (H->isOld())
+    return;
+  Bins &B = binsFor(InterpId);
+  std::vector<Oop> &List =
+      H->SlotCount <= SmallContextSlots ? B.Small : B.Large;
+  SpinLockGuard Guard(B.Lock);
+  List.push_back(Ctx);
+  Returns.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FreeContextPool::flushAll() {
+  for (auto &B : PerInterp) {
+    SpinLockGuard Guard(B->Lock);
+    B->Small.clear();
+    B->Large.clear();
+  }
+}

@@ -1,0 +1,298 @@
+//===-- vm/Lexer.cpp - Smalltalk tokenizer ----------------------*- C++ -*-===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Lexer.h"
+
+#include <cctype>
+
+using namespace mst;
+
+bool mst::isBinarySelectorChar(char C) {
+  switch (C) {
+  case '+':
+  case '-':
+  case '*':
+  case '/':
+  case '~':
+  case '<':
+  case '>':
+  case '=':
+  case '&':
+  case '@':
+  case '%':
+  case ',':
+  case '?':
+  case '!':
+  case '\\':
+    return true;
+  default:
+    return false;
+  }
+}
+
+Lexer::Lexer(const std::string &Source) { tokenize(Source); }
+
+const Token &Lexer::peek(unsigned Ahead) const {
+  size_t I = Pos + Ahead;
+  if (I >= Tokens.size())
+    I = Tokens.size() - 1; // The End token.
+  return Tokens[I];
+}
+
+Token Lexer::next() {
+  Token T = peek();
+  if (Pos + 1 < Tokens.size())
+    ++Pos;
+  return T;
+}
+
+void Lexer::tokenize(const std::string &Src) {
+  size_t I = 0, N = Src.size();
+  TokenKind Prev = TokenKind::End;
+
+  auto Emit = [this, &Prev](TokenKind K, std::string Text, uint32_t Off,
+                            intptr_t V = 0) {
+    Tokens.push_back({K, std::move(Text), V, Off});
+    Prev = K;
+  };
+
+  auto Fail = [this, &I](const std::string &Msg) {
+    ErrorMessage = Msg + " at offset " + std::to_string(I);
+  };
+
+  while (I < N && ErrorMessage.empty()) {
+    char C = Src[I];
+    uint32_t Off = static_cast<uint32_t>(I);
+
+    // Whitespace.
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++I;
+      continue;
+    }
+    // Comments: "..." (doubled quotes escape).
+    if (C == '"') {
+      ++I;
+      while (I < N) {
+        if (Src[I] == '"') {
+          if (I + 1 < N && Src[I + 1] == '"') {
+            I += 2;
+            continue;
+          }
+          break;
+        }
+        ++I;
+      }
+      if (I >= N) {
+        Fail("unterminated comment");
+        break;
+      }
+      ++I; // closing quote
+      continue;
+    }
+    // Identifiers and keywords.
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      size_t Start = I;
+      while (I < N && (std::isalnum(static_cast<unsigned char>(Src[I])) ||
+                       Src[I] == '_'))
+        ++I;
+      std::string Word = Src.substr(Start, I - Start);
+      if (I < N && Src[I] == ':' && (I + 1 >= N || Src[I + 1] != '=')) {
+        ++I;
+        Emit(TokenKind::Keyword, Word + ":", Off);
+      } else {
+        Emit(TokenKind::Identifier, Word, Off);
+      }
+      continue;
+    }
+    // Numbers (optionally radix rNN form like 16rFF).
+    bool NegNumber = C == '-' && I + 1 < N &&
+                     std::isdigit(static_cast<unsigned char>(Src[I + 1])) &&
+                     Prev != TokenKind::Identifier &&
+                     Prev != TokenKind::Integer &&
+                     Prev != TokenKind::RParen &&
+                     Prev != TokenKind::RBracket &&
+                     Prev != TokenKind::String &&
+                     Prev != TokenKind::CharLit &&
+                     Prev != TokenKind::SymbolLit;
+    if (std::isdigit(static_cast<unsigned char>(C)) || NegNumber) {
+      bool Neg = NegNumber;
+      if (Neg)
+        ++I;
+      intptr_t Value = 0;
+      while (I < N && std::isdigit(static_cast<unsigned char>(Src[I]))) {
+        Value = Value * 10 + (Src[I] - '0');
+        ++I;
+      }
+      if (I < N && Src[I] == 'r') {
+        // Radix literal: <base>r<digits>.
+        intptr_t Base = Value;
+        if (Base < 2 || Base > 36) {
+          Fail("bad radix");
+          break;
+        }
+        ++I;
+        Value = 0;
+        bool Any = false;
+        while (I < N) {
+          char D = Src[I];
+          intptr_t DV;
+          if (std::isdigit(static_cast<unsigned char>(D)))
+            DV = D - '0';
+          else if (std::isupper(static_cast<unsigned char>(D)))
+            DV = D - 'A' + 10;
+          else
+            break;
+          if (DV >= Base)
+            break;
+          Value = Value * Base + DV;
+          ++I;
+          Any = true;
+        }
+        if (!Any) {
+          Fail("radix literal needs digits");
+          break;
+        }
+      }
+      Emit(TokenKind::Integer, "", Off, Neg ? -Value : Value);
+      continue;
+    }
+    // Strings: 'abc' with '' escape.
+    if (C == '\'') {
+      ++I;
+      std::string S;
+      for (;;) {
+        if (I >= N) {
+          Fail("unterminated string");
+          break;
+        }
+        if (Src[I] == '\'') {
+          if (I + 1 < N && Src[I + 1] == '\'') {
+            S += '\'';
+            I += 2;
+            continue;
+          }
+          ++I;
+          break;
+        }
+        S += Src[I++];
+      }
+      if (!ErrorMessage.empty())
+        break;
+      Emit(TokenKind::String, std::move(S), Off);
+      continue;
+    }
+    // Character literals: $x ($ followed by any character).
+    if (C == '$') {
+      if (I + 1 >= N) {
+        Fail("dollar at end of source");
+        break;
+      }
+      Emit(TokenKind::CharLit, std::string(1, Src[I + 1]), Off);
+      I += 2;
+      continue;
+    }
+    // Symbols and literal arrays: #foo #foo:bar: #+ #( ... ).
+    if (C == '#') {
+      if (I + 1 < N && Src[I + 1] == '(') {
+        I += 2;
+        Emit(TokenKind::ArrayStart, "#(", Off);
+        continue;
+      }
+      ++I;
+      if (I < N && Src[I] == '\'') {
+        // #'quoted symbol'
+        ++I;
+        std::string S;
+        while (I < N && Src[I] != '\'')
+          S += Src[I++];
+        if (I >= N) {
+          Fail("unterminated quoted symbol");
+          break;
+        }
+        ++I;
+        Emit(TokenKind::SymbolLit, std::move(S), Off);
+        continue;
+      }
+      if (I < N && (std::isalpha(static_cast<unsigned char>(Src[I])) ||
+                    Src[I] == '_')) {
+        std::string S;
+        // Sequences of identifiers with colons: foo:bar:baz:.
+        while (I < N && (std::isalnum(static_cast<unsigned char>(Src[I])) ||
+                         Src[I] == '_' || Src[I] == ':'))
+          S += Src[I++];
+        Emit(TokenKind::SymbolLit, std::move(S), Off);
+        continue;
+      }
+      if (I < N && isBinarySelectorChar(Src[I])) {
+        std::string S;
+        while (I < N && isBinarySelectorChar(Src[I]))
+          S += Src[I++];
+        Emit(TokenKind::SymbolLit, std::move(S), Off);
+        continue;
+      }
+      Fail("bad symbol literal");
+      break;
+    }
+    // Punctuation and operators.
+    switch (C) {
+    case '(':
+      Emit(TokenKind::LParen, "(", Off);
+      ++I;
+      continue;
+    case ')':
+      Emit(TokenKind::RParen, ")", Off);
+      ++I;
+      continue;
+    case '[':
+      Emit(TokenKind::LBracket, "[", Off);
+      ++I;
+      continue;
+    case ']':
+      Emit(TokenKind::RBracket, "]", Off);
+      ++I;
+      continue;
+    case ';':
+      Emit(TokenKind::Semicolon, ";", Off);
+      ++I;
+      continue;
+    case '.':
+      Emit(TokenKind::Period, ".", Off);
+      ++I;
+      continue;
+    case '^':
+      Emit(TokenKind::Caret, "^", Off);
+      ++I;
+      continue;
+    case ':':
+      if (I + 1 < N && Src[I + 1] == '=') {
+        Emit(TokenKind::Assign, ":=", Off);
+        I += 2;
+      } else {
+        Emit(TokenKind::Colon, ":", Off);
+        ++I;
+      }
+      continue;
+    case '|':
+      Emit(TokenKind::VBar, "|", Off);
+      ++I;
+      continue;
+    default:
+      break;
+    }
+    if (isBinarySelectorChar(C)) {
+      std::string S;
+      while (I < N && isBinarySelectorChar(Src[I]) && S.size() < 2)
+        S += Src[I++];
+      Emit(TokenKind::BinarySel, std::move(S), Off);
+      continue;
+    }
+    Fail(std::string("unexpected character '") + C + "'");
+    break;
+  }
+
+  Tokens.push_back({TokenKind::End, "", 0,
+                    static_cast<uint32_t>(Src.size())});
+}

@@ -1,0 +1,86 @@
+//===-- vm/Lexer.h - Smalltalk tokenizer ------------------------*- C++ -*-===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the Smalltalk method syntax accepted by the compiler:
+/// identifiers, keywords (trailing colon), binary selectors, integer /
+/// string / character / symbol / array literals, assignment, returns,
+/// blocks, cascades and primitive pragmas.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MST_VM_LEXER_H
+#define MST_VM_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mst {
+
+/// Token kinds produced by the lexer.
+enum class TokenKind : uint8_t {
+  End,
+  Identifier, ///< foo
+  Keyword,    ///< foo:
+  BinarySel,  ///< + - * <= ~= , @ ... (single '|' is VBar)
+  Integer,    ///< 123, -7, 16r1F
+  String,     ///< 'abc'
+  CharLit,    ///< $a
+  SymbolLit,  ///< #foo, #foo:bar:, #+
+  ArrayStart, ///< #(
+  LParen,
+  RParen,
+  LBracket,
+  RBracket,
+  Semicolon,
+  Period,
+  Caret,
+  Assign, ///< :=
+  VBar,   ///< |
+  Colon,  ///< : (block parameter marker)
+  Lt,     ///< < at pragma position (otherwise BinarySel)
+  Gt,     ///< > at pragma position (otherwise BinarySel)
+  Error,
+};
+
+/// One token.
+struct Token {
+  TokenKind Kind = TokenKind::End;
+  std::string Text;   ///< spelling (selector text, identifier, ...)
+  intptr_t IntValue = 0;
+  uint32_t Offset = 0; ///< byte offset in the source, for diagnostics
+};
+
+/// Tokenizes a whole method source. '<' and '>' are emitted as BinarySel;
+/// the parser treats them as pragma brackets where the grammar requires.
+class Lexer {
+public:
+  explicit Lexer(const std::string &Source);
+
+  /// \returns the current token without consuming it.
+  const Token &peek(unsigned Ahead = 0) const;
+
+  /// Consumes and returns the current token.
+  Token next();
+
+  /// \returns true if tokenization failed; the message describes why.
+  bool hadError() const { return !ErrorMessage.empty(); }
+  const std::string &errorMessage() const { return ErrorMessage; }
+
+private:
+  void tokenize(const std::string &Source);
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+  std::string ErrorMessage;
+};
+
+/// \returns true when \p C can appear in a binary selector.
+bool isBinarySelectorChar(char C);
+
+} // namespace mst
+
+#endif // MST_VM_LEXER_H

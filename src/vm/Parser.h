@@ -1,0 +1,73 @@
+//===-- vm/Parser.h - Smalltalk method parser -------------------*- C++ -*-===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for method definitions:
+///
+///   method     := pattern pragma? temporaries? statements
+///   pattern    := unarySel | binarySel ident | (keyword ident)+
+///   pragma     := '<' 'primitive:' INTEGER '>'
+///   temporaries:= '|' ident* '|'
+///   statements := (statement '.')* statement? ;  '^' expr returns
+///   expression := assignment | cascade
+///   cascade    := keywordExpr (';' message)*
+///   keywordExpr:= binaryExpr (keyword binaryExpr)*
+///   binaryExpr := unaryExpr (binarySel unaryExpr)*
+///   unaryExpr  := primary unarySel*
+///   primary    := ident | literal | block | '(' expression ')' | '#(...)'
+///   block      := '[' (':' ident)* '|'? temporaries? statements ']'
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MST_VM_PARSER_H
+#define MST_VM_PARSER_H
+
+#include <string>
+
+#include "vm/Ast.h"
+#include "vm/Lexer.h"
+
+namespace mst {
+
+/// Parses one method definition.
+class Parser {
+public:
+  explicit Parser(const std::string &Source);
+
+  /// Parses the whole method. \returns false on error (see errorMessage()).
+  bool parseMethod(MethodNode &Out);
+
+  /// Parses a bare expression sequence (a "doIt"): no pattern, optional
+  /// temporaries, statements. Used for compiling evaluation snippets; the
+  /// result method answers the value of the final expression.
+  bool parseDoIt(MethodNode &Out);
+
+  const std::string &errorMessage() const { return ErrorMessage; }
+
+private:
+  bool parsePattern(MethodNode &Out);
+  bool parsePragma(MethodNode &Out);
+  bool parseTemporaries(std::vector<std::string> &Temps);
+  bool parseStatements(std::vector<ExprPtr> &Body, bool InBlock);
+  ExprPtr parseExpression();
+  ExprPtr parseCascade();
+  ExprPtr parseKeywordExpr();
+  ExprPtr parseBinaryExpr();
+  ExprPtr parseUnaryExpr();
+  ExprPtr parsePrimary();
+  ExprPtr parseBlock();
+  ExprPtr parseArrayLiteral();
+
+  ExprPtr fail(const std::string &Msg);
+
+  std::string Source;
+  Lexer Lex;
+  std::string ErrorMessage;
+};
+
+} // namespace mst
+
+#endif // MST_VM_PARSER_H

@@ -1,0 +1,254 @@
+//===-- vm/VirtualMachine.cpp - The MS virtual machine ----------*- C++ -*-===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/VirtualMachine.h"
+
+#include <chrono>
+
+#include "support/Assert.h"
+#include "support/Format.h"
+#include "vm/Compiler.h"
+
+using namespace mst;
+
+VmConfig VmConfig::baselineBS() {
+  VmConfig C;
+  C.Interpreters = 1;
+  C.MpSupport = false;
+  C.CacheKind = MethodCacheKind::Replicated;
+  C.FreeCtxKind = FreeContextKind::Replicated;
+  C.Memory.MpSupport = false;
+  return C;
+}
+
+VmConfig VmConfig::multiprocessor(unsigned K) {
+  VmConfig C;
+  C.Interpreters = K;
+  C.MpSupport = true;
+  C.CacheKind = MethodCacheKind::Replicated;
+  C.FreeCtxKind = FreeContextKind::Replicated;
+  C.Memory.MpSupport = true;
+  return C;
+}
+
+namespace {
+MemoryConfig withMpSupport(MemoryConfig M, bool Mp) {
+  M.MpSupport = Mp;
+  return M;
+}
+} // namespace
+
+VirtualMachine::VirtualMachine(const VmConfig &Config)
+    : Config(Config),
+      OM(std::make_unique<ObjectMemory>(
+          withMpSupport(Config.Memory, Config.MpSupport))),
+      Om(std::make_unique<ObjectModel>(*OM)), Disp(Config.MpSupport),
+      Events(Config.MpSupport), Kernel(Config.Processors) {
+  OM->registerMutator("driver");
+  Om->initCore();
+
+  Sched = std::make_unique<Scheduler>(*Om, OM->safepoint());
+  Cache = std::make_unique<MethodCache>(
+      Config.CacheKind, Config.Interpreters + 1, Config.MpSupport);
+  CtxPool = std::make_unique<FreeContextPool>(
+      Config.FreeCtxKind, Config.Interpreters + 1, Config.MpSupport);
+
+  // Scavenge hooks: caches hold oops of (young, movable) objects; free
+  // context lists hold dead objects. Both must empty before objects move.
+  OM->addPreScavengeHook([this] { Cache->flushAll(); });
+  OM->addPreScavengeHook([this] { CtxPool->flushAll(); });
+
+  for (unsigned I = 0; I < Config.Interpreters; ++I)
+    Workers.push_back(std::make_unique<Interpreter>(*this, I));
+  Driver = std::make_unique<Interpreter>(*this, Config.Interpreters);
+
+  OM->addRootWalker([this](const ObjectMemory::OopVisitor &V) {
+    auto VisitRoots = [&V](Interpreter &I) {
+      V(&I.roots().ActiveProcess);
+      V(&I.roots().ActiveContext);
+      V(&I.roots().PendingResult);
+    };
+    for (auto &W : Workers)
+      VisitRoots(*W);
+    VisitRoots(*Driver);
+  });
+}
+
+VirtualMachine::~VirtualMachine() {
+  shutdown();
+  OM->unregisterMutator();
+}
+
+void VirtualMachine::startInterpreters() {
+  assert(!WorkersStarted && "interpreters already started");
+  WorkersStarted = true;
+  for (auto &W : Workers) {
+    Interpreter *I = W.get();
+    Kernel.createProcess("interpreter-" + std::to_string(I->id()),
+                         [I] { I->runLoop(); });
+  }
+}
+
+void VirtualMachine::shutdown() {
+  if (StopFlag.exchange(true))
+    return;
+  Sched->notifyWork();
+  Kernel.joinAll();
+}
+
+/// --- execution front door ----------------------------------------------
+
+Oop VirtualMachine::buildBottomContext(Oop Method, Oop Receiver) {
+  assert(Method.object()->isOld() && "methods are compiled into old space");
+  Handle RecvHandle(OM->handles(), Receiver);
+  intptr_t NumTemps =
+      ObjectMemory::fetchPointer(Method, MthNumTemps).smallInt();
+  intptr_t Frame =
+      ObjectMemory::fetchPointer(Method, MthFrameSize).smallInt();
+  uint32_t Slots = CtxFixedSlots + static_cast<uint32_t>(Frame);
+  // Round small frames up to the standard small-context size, matching the
+  // interpreter's own activations (and giving perform: headroom).
+  if (Slots < SmallContextSlots)
+    Slots = SmallContextSlots;
+  Oop Ctx = OM->allocateContextObject(Om->known().ClassMethodContext,
+                                      Slots);
+  ObjectHeader *N = Ctx.object();
+  Oop *NS = N->slots();
+  NS[CtxSender] = Om->nil();
+  NS[CtxIp] = Oop::fromSmallInt(0);
+  NS[CtxMethod] = Method;
+  NS[CtxReceiver] = RecvHandle.get();
+  OM->writeBarrier(N, RecvHandle.get());
+  NS[CtxSp] = Oop::fromSmallInt(CtxFixedSlots + NumTemps - 1);
+  return Ctx;
+}
+
+Oop VirtualMachine::compileAndRun(const std::string &Source) {
+  CompileResult R = compileDoItSource(
+      *Om, Om->known().ClassUndefinedObject, Source);
+  if (!R.ok()) {
+    logError("doIt compile error: " + R.Error);
+    return Oop();
+  }
+  Oop Ctx = buildBottomContext(R.Method, Om->nil());
+  return Driver->runToCompletion(Ctx);
+}
+
+Oop VirtualMachine::forkDoIt(const std::string &Source, int Priority,
+                             const std::string &Name) {
+  CompileResult R = compileDoItSource(
+      *Om, Om->known().ClassUndefinedObject, Source);
+  if (!R.ok()) {
+    logError("forkDoIt compile error: " + R.Error);
+    return Oop();
+  }
+  Oop Ctx = buildBottomContext(R.Method, Om->nil());
+  Oop Proc = Sched->createProcess(Ctx, Priority, Name);
+  Sched->addReadyProcess(Proc);
+  return Proc;
+}
+
+/// --- host signals ------------------------------------------------------
+
+unsigned VirtualMachine::createHostSignal() {
+  std::lock_guard<std::mutex> Guard(SignalMutex);
+  SignalCounts.push_back(0);
+  return static_cast<unsigned>(SignalCounts.size() - 1);
+}
+
+void VirtualMachine::hostSignal(unsigned Id) {
+  std::lock_guard<std::mutex> Guard(SignalMutex);
+  if (Id < SignalCounts.size()) {
+    ++SignalCounts[Id];
+    SignalCv.notify_all();
+  }
+}
+
+bool VirtualMachine::waitHostSignal(unsigned Id, uint64_t Count,
+                                    double TimeoutSec) {
+  // The waiter holds no heap references; let scavenges proceed.
+  BlockedRegion Region(OM->safepoint());
+  std::unique_lock<std::mutex> Lock(SignalMutex);
+  return SignalCv.wait_for(
+      Lock, std::chrono::duration<double>(TimeoutSec), [this, Id, Count] {
+        return Id < SignalCounts.size() && SignalCounts[Id] >= Count;
+      });
+}
+
+/// --- diagnostics -------------------------------------------------------
+
+void VirtualMachine::logError(const std::string &Msg) {
+  std::lock_guard<std::mutex> Guard(ErrorMutex);
+  ErrorLog.push_back(Msg);
+}
+
+std::vector<std::string> VirtualMachine::errors() {
+  std::lock_guard<std::mutex> Guard(ErrorMutex);
+  return ErrorLog;
+}
+
+std::string VirtualMachine::statisticsReport() {
+  TextTable Locks;
+  Locks.setHeader({"serialized resource", "acquisitions", "contended",
+                   "delays"});
+  auto LockRow = [&Locks](const char *Name, SpinLock &L) {
+    Locks.addRow({Name, std::to_string(L.acquisitions()),
+                  std::to_string(L.contendedAcquisitions()),
+                  std::to_string(L.delays())});
+  };
+  LockRow("allocation (new space)", OM->allocationLock());
+  LockRow("scheduling (ready queue)", Sched->lock());
+  LockRow("entry table (remembered set)", OM->rememberedSet().lock());
+  LockRow("display output queue", Disp.lock());
+  LockRow("input event queue", Events.lock());
+
+  std::string Out = "=== MS instrumentation report (paper SS6) ===\n";
+  Out += Locks.render();
+
+  uint64_t Hits = Cache->hits(), Misses = Cache->misses();
+  double HitRate = Hits + Misses
+                       ? 100.0 * static_cast<double>(Hits) /
+                             static_cast<double>(Hits + Misses)
+                       : 0.0;
+  Out += "method cache (";
+  Out += Config.CacheKind == MethodCacheKind::Replicated
+             ? "replicated"
+             : "global, two-level locked";
+  Out += "): " + std::to_string(Hits) + " hits, " +
+         std::to_string(Misses) + " misses (" + formatDouble(HitRate, 1) +
+         "% hit rate)\n";
+  Out += "free contexts (";
+  Out += Config.FreeCtxKind == FreeContextKind::Replicated ? "replicated"
+                                                           : "shared";
+  Out += "): " + std::to_string(CtxPool->reuses()) + " reuses, " +
+         std::to_string(CtxPool->returns()) + " returns\n";
+
+  ScavengeStats S = OM->statsSnapshot();
+  Out += "scavenges: " + std::to_string(S.Scavenges) + ", total pause " +
+         formatDouble(S.TotalPauseSec * 1000.0, 3) + " ms, copied " +
+         std::to_string(S.BytesCopied) + " B, tenured " +
+         std::to_string(S.BytesTenured) + " B\n";
+  Out += "display commands: " + std::to_string(Disp.submittedCount()) +
+         "\n";
+
+  TextTable Interp;
+  Interp.setHeader({"interpreter", "bytecodes", "sends"});
+  for (const auto &W : Workers)
+    Interp.addRow({"worker " + std::to_string(W->id()),
+                   std::to_string(W->bytecodesExecuted()),
+                   std::to_string(W->sendsExecuted())});
+  Interp.addRow({"driver", std::to_string(Driver->bytecodesExecuted()),
+                 std::to_string(Driver->sendsExecuted())});
+  Out += Interp.render();
+  return Out;
+}
+
+uint64_t VirtualMachine::totalBytecodes() const {
+  uint64_t N = Driver->bytecodesExecuted();
+  for (const auto &W : Workers)
+    N += W->bytecodesExecuted();
+  return N;
+}

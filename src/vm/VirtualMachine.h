@@ -1,0 +1,187 @@
+//===-- vm/VirtualMachine.h - The MS virtual machine ------------*- C++ -*-===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Multiprocessor Smalltalk virtual machine: object memory, object
+/// model, scheduler, caches, I/O, and k replicated interpreter processes
+/// on a V-kernel substrate. The configuration matrix covers every cell of
+/// the paper's Table 3:
+///
+///   serialization: allocation, GC, entry table, scheduling, I/O queues
+///   replication:   interpreters, method caches, free contexts, (TLABs)
+///   reorganization: activeProcess / canRun: / thisProcess
+///
+/// `MpSupport = false` with one interpreter is "baseline BS" — the
+/// interpreter ported to the Firefly *before* any multiprocessor support,
+/// the reference point of Table 2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MST_VM_VIRTUALMACHINE_H
+#define MST_VM_VIRTUALMACHINE_H
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "io/Display.h"
+#include "io/EventQueue.h"
+#include "objmem/ObjectMemory.h"
+#include "support/Timer.h"
+#include "vkernel/VKernel.h"
+#include "vm/FreeContextList.h"
+#include "vm/Interpreter.h"
+#include "vm/MethodCache.h"
+#include "vm/ObjectModel.h"
+#include "vm/Scheduler.h"
+
+namespace mst {
+
+/// Complete VM configuration.
+struct VmConfig {
+  /// Number of worker interpreter processes (the Firefly ran up to 5).
+  unsigned Interpreters = 1;
+  /// Virtual processors in the V kernel.
+  unsigned Processors = 5;
+  /// Master switch for every lock in the system; false = baseline BS.
+  bool MpSupport = true;
+  MethodCacheKind CacheKind = MethodCacheKind::Replicated;
+  FreeContextKind FreeCtxKind = FreeContextKind::Replicated;
+  MemoryConfig Memory;
+  /// Bytecodes per scheduling slice.
+  uint64_t TimesliceBytecodes = 10000;
+  /// Processor-time cap per slice (microseconds): preempts Processes that
+  /// spend their slice inside long-running primitives (compiler,
+  /// decompiler), the way the timer interrupt did on real hardware.
+  uint64_t TimesliceMicros = 2000;
+
+  /// Canonical "baseline BS" configuration (Table 2, row 1).
+  static VmConfig baselineBS();
+  /// Canonical MS configuration with \p K interpreters.
+  static VmConfig multiprocessor(unsigned K);
+};
+
+/// The virtual machine.
+class VirtualMachine {
+public:
+  /// Builds the VM core (no image methods yet — see image/Bootstrap). The
+  /// calling thread is registered as a mutator and becomes the driver.
+  explicit VirtualMachine(const VmConfig &Config);
+
+  /// Stops interpreters and unregisters the driver thread (which must be
+  /// the constructing thread).
+  ~VirtualMachine();
+
+  VirtualMachine(const VirtualMachine &) = delete;
+  VirtualMachine &operator=(const VirtualMachine &) = delete;
+
+  const VmConfig &config() const { return Config; }
+
+  ObjectMemory &memory() { return *OM; }
+  ObjectModel &model() { return *Om; }
+  Scheduler &scheduler() { return *Sched; }
+  MethodCache &cache() { return *Cache; }
+  FreeContextPool &contextPool() { return *CtxPool; }
+  Display &display() { return Disp; }
+  EventQueue &events() { return Events; }
+  VKernel &kernel() { return Kernel; }
+
+  /// The driver interpreter, bound to the constructing thread.
+  Interpreter &driver() { return *Driver; }
+
+  /// --- Interpreter lifecycle ---------------------------------------------
+
+  /// Spawns the worker interpreter processes.
+  void startInterpreters();
+
+  /// Requests shutdown and joins every worker.
+  void shutdown();
+
+  bool stopping() const {
+    return StopFlag.load(std::memory_order_relaxed);
+  }
+
+  /// --- Execution front door ----------------------------------------------
+
+  /// Compiles \p Source as a doIt and runs it to completion on the calling
+  /// (driver) thread. \returns the result, or null oop on error.
+  Oop compileAndRun(const std::string &Source);
+
+  /// Compiles \p Source as a doIt and forks it as a Smalltalk Process at
+  /// \p Priority. \returns the Process oop (already scheduled).
+  Oop forkDoIt(const std::string &Source, int Priority,
+               const std::string &Name);
+
+  /// Builds a bottom MethodContext activating \p Method on \p Receiver
+  /// with no arguments. GC point.
+  Oop buildBottomContext(Oop Method, Oop Receiver);
+
+  /// --- Host signals (benchmark completion notification) -------------------
+
+  /// Creates a host signal slot. Smalltalk signals it via
+  /// <primitive: 60> with the slot id.
+  unsigned createHostSignal();
+
+  /// Signals slot \p Id (called from a primitive).
+  void hostSignal(unsigned Id);
+
+  /// Waits until slot \p Id has been signalled at least \p Count times.
+  /// Enters a blocked region (GC-safe). \returns false on timeout.
+  bool waitHostSignal(unsigned Id, uint64_t Count, double TimeoutSec);
+
+  /// --- Diagnostics ---------------------------------------------------------
+
+  void logError(const std::string &Msg);
+  std::vector<std::string> errors();
+
+  /// Milliseconds since VM construction (primitive 42).
+  intptr_t millisecondClock() const {
+    return static_cast<intptr_t>(Uptime.seconds() * 1000.0);
+  }
+
+  /// Total bytecodes executed across all interpreters (approximate while
+  /// running).
+  uint64_t totalBytecodes() const;
+
+  /// The instrumentation the paper plans in §6: a report of contention
+  /// and activity per shared resource — lock acquisitions and contended
+  /// acquisitions for allocation, scheduling, the entry table and the
+  /// display; method-cache hit rates; free-context reuse; scavenger
+  /// totals; per-interpreter bytecode and send counts.
+  std::string statisticsReport();
+
+private:
+  VmConfig Config;
+  std::unique_ptr<ObjectMemory> OM;
+  std::unique_ptr<ObjectModel> Om;
+  std::unique_ptr<Scheduler> Sched;
+  std::unique_ptr<MethodCache> Cache;
+  std::unique_ptr<FreeContextPool> CtxPool;
+  Display Disp;
+  EventQueue Events;
+  VKernel Kernel;
+
+  std::vector<std::unique_ptr<Interpreter>> Workers;
+  std::unique_ptr<Interpreter> Driver;
+  std::atomic<bool> StopFlag{false};
+  bool WorkersStarted = false;
+
+  std::mutex SignalMutex;
+  std::condition_variable SignalCv;
+  std::vector<uint64_t> SignalCounts;
+
+  std::mutex ErrorMutex;
+  std::vector<std::string> ErrorLog;
+
+  Stopwatch Uptime;
+};
+
+} // namespace mst
+
+#endif // MST_VM_VIRTUALMACHINE_H

@@ -1,0 +1,92 @@
+//===-- tests/TestVm.h - Shared test fixture helpers ------------*- C++ -*-===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the test suite: build a bootstrapped VM and evaluate
+/// Smalltalk snippets with convenient assertions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MST_TESTS_TESTVM_H
+#define MST_TESTS_TESTVM_H
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "image/Bootstrap.h"
+#include "vm/VirtualMachine.h"
+
+namespace mst {
+
+/// A bootstrapped VM for tests. Construct on the test's main thread.
+class TestVm {
+public:
+  explicit TestVm(VmConfig Config = VmConfig::multiprocessor(2)) {
+    VM = std::make_unique<VirtualMachine>(Config);
+    bootstrapImage(*VM);
+  }
+
+  VirtualMachine &vm() { return *VM; }
+  ObjectModel &om() { return VM->model(); }
+
+  /// Evaluates \p Source; fails the test (with the VM error log) when the
+  /// execution errored.
+  Oop eval(const std::string &Source) {
+    Oop R = VM->compileAndRun(Source);
+    if (R.isNull()) {
+      std::string All;
+      for (const std::string &E : VM->errors())
+        All += E + "\n";
+      ADD_FAILURE() << "eval failed for: " << Source << "\nerrors:\n"
+                    << All;
+    }
+    return R;
+  }
+
+  /// Evaluates \p Source and expects a SmallInteger result.
+  intptr_t evalInt(const std::string &Source) {
+    Oop R = eval(Source);
+    if (!R.isSmallInt()) {
+      ADD_FAILURE() << "expected SmallInteger from: " << Source << ", got "
+                    << om().describe(R);
+      return INTPTR_MIN;
+    }
+    return R.smallInt();
+  }
+
+  /// Evaluates \p Source and expects a String/Symbol result.
+  std::string evalString(const std::string &Source) {
+    Oop R = eval(Source);
+    if (!R.isPointer() ||
+        R.object()->Format != ObjectFormat::Bytes) {
+      ADD_FAILURE() << "expected a string from: " << Source << ", got "
+                    << om().describe(R);
+      return "";
+    }
+    return ObjectModel::stringValue(R);
+  }
+
+  /// Evaluates \p Source and expects a Boolean result.
+  bool evalBool(const std::string &Source) {
+    Oop R = eval(Source);
+    if (R == om().known().TrueObj)
+      return true;
+    if (R == om().known().FalseObj)
+      return false;
+    ADD_FAILURE() << "expected a Boolean from: " << Source << ", got "
+                  << om().describe(R);
+    return false;
+  }
+
+private:
+  std::unique_ptr<VirtualMachine> VM;
+};
+
+} // namespace mst
+
+#endif // MST_TESTS_TESTVM_H

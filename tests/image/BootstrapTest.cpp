@@ -1,0 +1,141 @@
+//===-- tests/image/BootstrapTest.cpp - Image structural invariants -------===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestVm.h"
+
+using namespace mst;
+
+namespace {
+
+class BootstrapTest : public ::testing::Test {
+protected:
+  TestVm T;
+};
+
+TEST_F(BootstrapTest, MetaclassKernelIsWired) {
+  ObjectModel &Om = T.om();
+  KnownObjects &K = Om.known();
+  // Classes are instances of their metaclasses; metaclasses are
+  // instances of Metaclass.
+  Oop MetaObject = Om.classOf(K.ClassObject);
+  EXPECT_EQ(Om.classOf(MetaObject), K.ClassMetaclass);
+  EXPECT_EQ(Om.classOf(Om.classOf(K.ClassArray)), K.ClassMetaclass);
+  // "Object class" inherits from Class.
+  EXPECT_EQ(ObjectMemory::fetchPointer(MetaObject, ClsSuperclass),
+            K.ClassClass);
+  // Metaclass chains parallel the class chains.
+  Oop MetaInteger = Om.classOf(K.ClassInteger);
+  EXPECT_EQ(ObjectMemory::fetchPointer(MetaInteger, ClsSuperclass),
+            Om.classOf(K.ClassNumber));
+}
+
+TEST_F(BootstrapTest, NilTrueFalseHaveProperClasses) {
+  ObjectModel &Om = T.om();
+  KnownObjects &K = Om.known();
+  EXPECT_EQ(Om.classOf(K.NilObj), K.ClassUndefinedObject);
+  EXPECT_EQ(Om.classOf(K.TrueObj), K.ClassTrue);
+  EXPECT_EQ(Om.classOf(K.FalseObj), K.ClassFalse);
+  EXPECT_EQ(Om.classOf(Oop::fromSmallInt(3)), K.ClassSmallInteger);
+}
+
+TEST_F(BootstrapTest, InstanceVariableNamesIncludeInherited) {
+  // Process inherits nextLink from Link; its ivar array starts with it.
+  Oop Process = T.om().known().ClassProcess;
+  Oop Names = ObjectMemory::fetchPointer(Process, ClsInstVarNames);
+  ASSERT_TRUE(Names.isPointer());
+  ASSERT_EQ(Names.object()->SlotCount, ProcessSlotCount);
+  EXPECT_EQ(ObjectModel::stringValue(Names.object()->slots()[0]),
+            "nextLink");
+  EXPECT_EQ(ObjectModel::stringValue(Names.object()->slots()[1]),
+            "suspendedContext");
+}
+
+TEST_F(BootstrapTest, GlobalsResolveKernelClasses) {
+  for (const char *Name :
+       {"Object", "Behavior", "Class", "Metaclass", "String", "Symbol",
+        "Array", "OrderedCollection", "Dictionary", "Process",
+        "Semaphore", "ProcessorScheduler", "WriteStream", "Inspector",
+        "Point", "ClassOrganization"}) {
+    Oop G = T.om().globalAt(Name);
+    EXPECT_TRUE(G.isPointer()) << Name << " missing from Smalltalk";
+    EXPECT_TRUE(T.om().isKindOf(G, T.om().known().ClassBehavior))
+        << Name << " is not a class";
+  }
+  EXPECT_EQ(T.om().globalAt("Smalltalk"), T.om().known().SmalltalkDict);
+  EXPECT_EQ(T.om().globalAt("Processor"), T.om().known().Processor);
+}
+
+TEST_F(BootstrapTest, ToolGlobalsAreInstances) {
+  for (const char *Name : {"Display", "Sensor", "Compiler", "Decompiler"}) {
+    Oop G = T.om().globalAt(Name);
+    ASSERT_TRUE(G.isPointer()) << Name;
+    EXPECT_FALSE(T.om().isKindOf(G, T.om().known().ClassBehavior))
+        << Name << " should be an instance, not a class";
+  }
+}
+
+TEST_F(BootstrapTest, OrganizationsAreBuilt) {
+  // Every kernel class with methods carries a ClassOrganization whose
+  // categories cover its selectors.
+  EXPECT_TRUE(T.evalBool("^Object organization notNil"));
+  EXPECT_TRUE(T.evalBool(
+      "^(Object organization selectorsInCategory: #printing) "
+      "includes: #printOn:"));
+  EXPECT_TRUE(T.evalBool(
+      "^(Behavior organization selectorsInCategory: #browsing) "
+      "includes: #definition"));
+  // Class-side organizations too.
+  EXPECT_TRUE(T.evalBool(
+      "^(Character class organization selectorsInCategory: "
+      "#'instance creation') includes: #value:"));
+}
+
+TEST_F(BootstrapTest, CharacterTableIsInterned) {
+  EXPECT_TRUE(T.evalBool("^$a == $a"));
+  EXPECT_TRUE(T.evalBool("^(Character value: 97) == $a"));
+  EXPECT_EQ(T.evalInt("^$a value"), 97);
+}
+
+TEST_F(BootstrapTest, SymbolsAreUnique) {
+  EXPECT_TRUE(T.evalBool("^#foo == #foo"));
+  EXPECT_TRUE(T.evalBool("^'foo' asSymbol == #foo"));
+  EXPECT_FALSE(T.evalBool("^'foo' == 'foo'")); // strings are not interned
+  EXPECT_EQ(T.om().intern("bar"), T.om().intern("bar"));
+}
+
+TEST_F(BootstrapTest, MethodDictionariesAnswerLookups) {
+  ObjectModel &Om = T.om();
+  Oop Sel = Om.intern("printOn:");
+  ObjectModel::LookupResult R =
+      Om.lookupMethod(Om.known().ClassSmallInteger, Sel);
+  ASSERT_FALSE(R.Method.isNull());
+  // printOn: for integers is defined on Integer, not Object.
+  EXPECT_EQ(R.DefiningClass, Om.known().ClassInteger);
+  // And an unknown selector misses cleanly.
+  EXPECT_TRUE(Om.lookupMethod(Om.known().ClassObject,
+                              Om.intern("noSuchSelectorAnywhere"))
+                  .Method.isNull());
+}
+
+TEST_F(BootstrapTest, DescribeFormats) {
+  ObjectModel &Om = T.om();
+  EXPECT_EQ(Om.describe(Oop::fromSmallInt(-3)), "-3");
+  EXPECT_EQ(Om.describe(Om.known().NilObj), "nil");
+  EXPECT_EQ(Om.describe(Om.known().TrueObj), "true");
+  EXPECT_EQ(Om.describe(Om.intern("sym")), "#sym");
+  EXPECT_EQ(Om.describe(Om.makeString("s", true)), "'s'");
+  EXPECT_EQ(Om.describe(Om.known().ClassArray), "Array");
+  EXPECT_EQ(Om.describe(Om.characterFor('z')), "$z");
+}
+
+TEST_F(BootstrapTest, EveryKernelClassRoundTripsItsDefinition) {
+  // definition must be well-formed for every class in the image.
+  EXPECT_TRUE(T.evalBool(
+      "| ok | ok := true. Smalltalk allClassesDo: [:c | c definition "
+      "isEmpty ifTrue: [ok := false]]. ^ok"));
+}
+
+} // namespace

@@ -1,0 +1,180 @@
+//===-- tests/image/BrowsingTest.cpp - System browsing --------------------===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The browsing operations behind the macro benchmarks: definitions,
+/// hierarchies, organizations (read AND write), senders, implementors,
+/// inspectors, runtime compilation and decompilation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestVm.h"
+
+using namespace mst;
+
+namespace {
+
+class BrowsingTest : public ::testing::Test {
+protected:
+  TestVm T;
+};
+
+TEST_F(BrowsingTest, DefinitionFormat) {
+  EXPECT_EQ(T.evalString("^Point definition"),
+            "Object subclass: #Point instanceVariableNames: 'x y' "
+            "category: 'Graphics-Basic'");
+  EXPECT_EQ(T.evalString("^Object definition"),
+            "nil subclass: #Object instanceVariableNames: '' category: "
+            "'Kernel-Objects'");
+}
+
+TEST_F(BrowsingTest, HierarchyContainsSubtree) {
+  std::string H = T.evalString("^Magnitude printHierarchy");
+  EXPECT_NE(H.find("Magnitude"), std::string::npos);
+  EXPECT_NE(H.find("  Number"), std::string::npos);
+  EXPECT_NE(H.find("    Integer"), std::string::npos);
+  EXPECT_NE(H.find("      SmallInteger"), std::string::npos);
+  EXPECT_NE(H.find("  Character"), std::string::npos);
+  EXPECT_EQ(H.find("Collection"), std::string::npos);
+}
+
+TEST_F(BrowsingTest, OrganizationRoundTrip) {
+  // The "read and write class organization" benchmark's core: print an
+  // organization, parse it back, and get the same classification.
+  EXPECT_TRUE(T.evalBool(
+      "| org text org2 | org := OrderedCollection organization. text := "
+      "org printString. org2 := ClassOrganization fromString: text. "
+      "^(org2 selectorsInCategory: #adding) includes: #add:"));
+  // The category structure survives a round trip (iteration order may
+  // legally differ, so compare contents, not text).
+  EXPECT_TRUE(T.evalBool(
+      "| org org2 ok | org := Dictionary organization. org2 := "
+      "ClassOrganization fromString: org printString. ok := org "
+      "categories size = org2 categories size. org categories keysDo: "
+      "[:cat | (org selectorsInCategory: cat) do: [:sel | ((org2 "
+      "selectorsInCategory: cat) includes: sel) ifFalse: [ok := "
+      "false]]]. ^ok"));
+}
+
+TEST_F(BrowsingTest, ImplementorsFindsDefiners) {
+  // printOn: is implemented by Integer but not by SmallInteger.
+  EXPECT_TRUE(T.evalBool(
+      "^(Smalltalk implementorsOf: #printOn:) includes: Integer"));
+  EXPECT_FALSE(T.evalBool(
+      "^(Smalltalk implementorsOf: #printOn:) includes: SmallInteger"));
+  EXPECT_EQ(T.evalInt("^(Smalltalk implementorsOf: "
+                      "#noSuchSelectorAnywhere) size"),
+            0);
+}
+
+TEST_F(BrowsingTest, SendersScanLiteralFrames) {
+  // Add a method with a distinctive literal selector and find it.
+  Oop Cls = defineClass(T.vm(), "SenderProbe", "Object", ClassKind::Fixed,
+                        {}, "Tests");
+  addMethod(T.vm(), Cls, "probing",
+            "probe ^self perform: #veryUniqueTargetSelector");
+  EXPECT_EQ(T.evalInt("^(Smalltalk sendersOf: "
+                      "#veryUniqueTargetSelector) size"),
+            1);
+  EXPECT_TRUE(T.evalBool(
+      "^(Smalltalk sendersOf: #veryUniqueTargetSelector) first "
+      "selector == #probe"));
+}
+
+TEST_F(BrowsingTest, SendersSeeNestedArrayLiterals) {
+  Oop Cls = defineClass(T.vm(), "ArrayProbe", "Object", ClassKind::Fixed,
+                        {}, "Tests");
+  addMethod(T.vm(), Cls, "probing",
+            "table ^#(alpha uniqueNestedSelector beta)");
+  EXPECT_EQ(
+      T.evalInt("^(Smalltalk sendersOf: #uniqueNestedSelector) size"), 1);
+}
+
+TEST_F(BrowsingTest, InspectorFields) {
+  EXPECT_EQ(T.evalInt("^(Inspector on: (Point x: 9 y: 8)) fields size"),
+            3); // self + x + y
+  EXPECT_TRUE(T.evalBool(
+      "| f | f := (Inspector on: (Point x: 9 y: 8)) fields. ^(f at: 2) "
+      "value = '9'"));
+  // Inspecting writes a view description to the display.
+  uint64_t Before = T.vm().display().submittedCount();
+  T.eval("^(Inspector on: 3 -> 4) show");
+  EXPECT_GT(T.vm().display().submittedCount(), Before);
+}
+
+TEST_F(BrowsingTest, RuntimeCompilationInstallsAndRuns) {
+  Oop Cls = defineClass(T.vm(), "Crunch", "Object", ClassKind::Fixed, {},
+                        "Tests");
+  (void)Cls;
+  Oop Sel = T.eval("^Compiler compile: 'triple: n ^n * 3' into: Crunch");
+  EXPECT_EQ(Sel, T.om().intern("triple:"));
+  EXPECT_EQ(T.evalInt("^Crunch new triple: 14"), 42);
+  // Redefinition replaces the method.
+  T.eval("^Compiler compile: 'triple: n ^n * 30' into: Crunch");
+  EXPECT_EQ(T.evalInt("^Crunch new triple: 14"), 420);
+}
+
+TEST_F(BrowsingTest, CompileErrorAnswersNil) {
+  EXPECT_EQ(T.eval("^Compiler compile: 'broken ^((' into: Point"),
+            T.om().nil());
+}
+
+TEST_F(BrowsingTest, SelectorsAndMethodAccess) {
+  EXPECT_TRUE(T.evalBool("^Point selectors includes: #x"));
+  EXPECT_TRUE(T.evalBool("^(Point compiledMethodAt: #x) numArgs = 0"));
+  EXPECT_TRUE(T.evalBool("^(Point compiledMethodAt: #nope) isNil"));
+  EXPECT_TRUE(T.evalBool("^Point includesSelector: #setX:y:"));
+  EXPECT_FALSE(T.evalBool("^Point includesSelector: #zork"));
+}
+
+TEST_F(BrowsingTest, AllBehaviorsCoverMetaclasses) {
+  intptr_t Classes = T.evalInt(
+      "| n | n := 0. Smalltalk allClassesDo: [:c | n := n + 1]. ^n");
+  intptr_t Behaviors = T.evalInt(
+      "| n | n := 0. Smalltalk allBehaviorsDo: [:c | n := n + 1]. ^n");
+  EXPECT_EQ(Behaviors, Classes * 2);
+  EXPECT_GE(Classes, 40);
+}
+
+TEST_F(BrowsingTest, SubclassCreationFromSmalltalk) {
+  // The browser's accept action: evaluate a definition string.
+  Oop Cls = T.eval("^Object subclass: #Vec3 instanceVariableNames: 'dx "
+                   "dy dz' category: 'Examples-Geometry'");
+  ASSERT_TRUE(Cls.isPointer());
+  EXPECT_TRUE(T.om().isKindOf(Cls, T.om().known().ClassBehavior));
+  EXPECT_EQ(T.om().fixedFieldsOf(Cls), 3u);
+  EXPECT_EQ(T.evalString("^Vec3 name asString"), "Vec3");
+  // Compile methods into it and use them.
+  T.eval("^Compiler compile: 'mag2 ^dx * dx + (dy * dy) + (dz * dz)' "
+         "into: Vec3");
+  T.eval("^Compiler compile: 'setDx: a dy: b dz: c dx := a. dy := b. dz "
+         ":= c' into: Vec3");
+  EXPECT_EQ(T.evalInt("| v | v := Vec3 new. v setDx: 1 dy: 2 dz: 2. ^v "
+                      "mag2"),
+            9);
+  // Its own definition is an executable near-round-trip.
+  EXPECT_EQ(T.evalString("^Vec3 definition"),
+            "Object subclass: #Vec3 instanceVariableNames: 'dx dy dz' "
+            "category: 'Examples-Geometry'");
+  // Subclass the new class from Smalltalk too: inheritance carries over.
+  T.eval("^Vec3 subclass: #Vec4 instanceVariableNames: 'dw' category: "
+         "'Examples-Geometry'");
+  EXPECT_EQ(T.evalInt("^Vec4 instanceVariableNames size"), 4);
+  EXPECT_TRUE(T.evalBool("^Vec4 new isKindOf: Vec3"));
+  // Definitions show up in the hierarchy browser.
+  EXPECT_NE(T.evalString("^Object printHierarchy").find("Vec4"),
+            std::string::npos);
+}
+
+TEST_F(BrowsingTest, SubclassValidation) {
+  // Byte-indexable classes cannot gain named instance variables.
+  Oop R = T.vm().compileAndRun(
+      "^String subclass: #Tagged instanceVariableNames: 'tag' category: "
+      "'X'");
+  EXPECT_TRUE(R.isNull());
+}
+
+} // namespace

@@ -1,0 +1,98 @@
+//===-- tests/image/MacroWorkloadTest.cpp - Benchmark side-effects ---------===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The macro benchmarks must *do the work they claim*: these tests check
+/// their observable side-effects, so a silently-failing benchmark can
+/// never report a flattering time.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestVm.h"
+
+#include "image/MacroBenchmarks.h"
+
+using namespace mst;
+
+namespace {
+
+class MacroWorkloadTest : public ::testing::Test {
+protected:
+  MacroWorkloadTest() {
+    setupMacroWorkload(T.vm());
+    T.vm().startInterpreters();
+  }
+  TestVm T{VmConfig::multiprocessor(2)};
+};
+
+TEST_F(MacroWorkloadTest, CompileBenchmarkActuallyInstalls) {
+  EXPECT_FALSE(
+      T.evalBool("^BenchmarkDummy includesSelector: #dummyMethod"));
+  TimedRun R = runMacroBenchmark(T.vm(), macroBenchmarks()[6], 0.01);
+  ASSERT_TRUE(R.Ok);
+  EXPECT_TRUE(
+      T.evalBool("^BenchmarkDummy includesSelector: #dummyMethod"));
+  // The compiled dummy is a genuine method (30 iterations of sends).
+  EXPECT_TRUE(T.evalBool(
+      "^(BenchmarkDummy compiledMethodAt: #dummyMethod) numArgs = 0"));
+}
+
+TEST_F(MacroWorkloadTest, OrganizationBenchmarkPreservesStructure) {
+  intptr_t Before = T.evalInt(
+      "^Dictionary organization categories size");
+  TimedRun R = runMacroBenchmark(T.vm(), macroBenchmarks()[0], 0.05);
+  ASSERT_TRUE(R.Ok);
+  // The benchmark replaces every organization with a parsed copy; the
+  // category structure must be intact afterwards.
+  EXPECT_EQ(T.evalInt("^Dictionary organization categories size"),
+            Before);
+  EXPECT_TRUE(T.evalBool(
+      "^(Dictionary organization selectorsInCategory: #accessing) "
+      "includes: #'at:put:'"));
+}
+
+TEST_F(MacroWorkloadTest, InspectorBenchmarkEmitsViews) {
+  uint64_t Before = T.vm().display().submittedCount();
+  TimedRun R = runMacroBenchmark(T.vm(), macroBenchmarks()[5], 0.01);
+  ASSERT_TRUE(R.Ok);
+  EXPECT_GT(T.vm().display().submittedCount(), Before + 10);
+}
+
+TEST_F(MacroWorkloadTest, SearchBenchmarksFindRealResults) {
+  // find-all-calls / find-all-implementors return non-trivial result
+  // sets over the image.
+  EXPECT_GT(T.evalInt("^(Smalltalk sendersOf: #printOn:) size"), 0);
+  EXPECT_GT(T.evalInt("^(Smalltalk implementorsOf: #printOn:) size"),
+            10);
+}
+
+TEST_F(MacroWorkloadTest, IdleSourceMatchesThePaper) {
+  EXPECT_EQ(idleProcessSource(), "[true] whileTrue");
+}
+
+TEST_F(MacroWorkloadTest, BusySourceContendForDisplay) {
+  unsigned Sig = T.vm().createHostSignal();
+  uint64_t Before = T.vm().display().submittedCount();
+  forkCompetitors(T.vm(), 2, busyProcessSource(), "BusyProbe");
+  // Let them spin briefly via a small foreground workload.
+  T.vm().forkDoIt("1 to: 50000 do: [:i | i]. nil hostSignal: " +
+                      std::to_string(Sig),
+                  5, "pace");
+  ASSERT_TRUE(T.vm().waitHostSignal(Sig, 1, 60.0));
+  terminateCompetitors(T.vm(), "BusyProbe");
+  EXPECT_GT(T.vm().display().submittedCount(), Before)
+      << "busy Processes must emit display traffic";
+}
+
+TEST_F(MacroWorkloadTest, EveryBenchmarkHasPositiveBaseIterations) {
+  for (const MacroBenchmark &B : macroBenchmarks()) {
+    EXPECT_GT(B.BaseIterations, 0) << B.Name;
+    EXPECT_NE(B.Body.find("%SCALE%"), std::string::npos) << B.Name;
+  }
+  EXPECT_EQ(macroBenchmarks().size(), 8u) << "Table 2 has eight columns";
+}
+
+} // namespace

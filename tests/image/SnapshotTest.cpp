@@ -1,0 +1,178 @@
+//===-- tests/image/SnapshotTest.cpp - Image save/load --------------------===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+#include <thread>
+
+#include "TestVm.h"
+
+#include "image/Snapshot.h"
+
+using namespace mst;
+
+namespace {
+
+std::string tempPath(const char *Name) {
+  return std::string(::testing::TempDir()) + "/" + Name;
+}
+
+TEST(SnapshotTest, SaveAndReloadBasicImage) {
+  std::string Path = tempPath("basic.image");
+  // Build, mutate, and save in one thread; load and verify in another
+  // (mutator registration is per-thread, one VM per thread).
+  std::thread([&] {
+    TestVm T;
+    T.eval("Smalltalk at: #SnapshotProbe put: 'preserved state'. ^1");
+    T.evalInt("^(Smalltalk at: #Counter2 put: 41) + 1");
+    std::string Error;
+    ASSERT_TRUE(saveSnapshot(T.vm(), Path, Error)) << Error;
+  }).join();
+
+  std::thread([&] {
+    // A fresh VM, no bootstrap: everything comes from the file.
+    VirtualMachine VM(VmConfig::multiprocessor(2));
+    std::string Error;
+    ASSERT_TRUE(loadSnapshot(VM, Path, Error)) << Error;
+
+    Oop Probe = VM.compileAndRun("^Smalltalk at: #SnapshotProbe");
+    ASSERT_TRUE(Probe.isPointer());
+    EXPECT_EQ(ObjectModel::stringValue(Probe), "preserved state");
+    // The kernel library still works: sends, collections, printing.
+    Oop Sum = VM.compileAndRun(
+        "^#(1 2 3) inject: 0 into: [:a :b | a + b]");
+    ASSERT_TRUE(Sum.isSmallInt());
+    EXPECT_EQ(Sum.smallInt(), 6);
+    Oop S = VM.compileAndRun("^42 printString");
+    ASSERT_TRUE(S.isPointer());
+    EXPECT_EQ(ObjectModel::stringValue(S), "42");
+  }).join();
+}
+
+TEST(SnapshotTest, RuntimeDefinedClassesSurvive) {
+  std::string Path = tempPath("classes.image");
+  std::thread([&] {
+    TestVm T;
+    Oop Cls = defineClass(T.vm(), "Persistent", "Object",
+                          ClassKind::Fixed, {"payload"}, "Tests");
+    addMethod(T.vm(), Cls, "accessing", "payload ^payload");
+    addMethod(T.vm(), Cls, "accessing",
+              "payload: anObject payload := anObject");
+    T.eval("Smalltalk at: #Inst put: (Persistent new payload: 777). ^1");
+    std::string Error;
+    ASSERT_TRUE(saveSnapshot(T.vm(), Path, Error)) << Error;
+  }).join();
+
+  std::thread([&] {
+    VirtualMachine VM(VmConfig::multiprocessor(1));
+    std::string Error;
+    ASSERT_TRUE(loadSnapshot(VM, Path, Error)) << Error;
+    Oop V = VM.compileAndRun("^(Smalltalk at: #Inst) payload");
+    ASSERT_TRUE(V.isSmallInt());
+    EXPECT_EQ(V.smallInt(), 777);
+    // New code compiles against the loaded class (symbol identity holds).
+    Oop W = VM.compileAndRun("^Persistent new payload: 1; payload");
+    ASSERT_TRUE(W.isSmallInt());
+    EXPECT_EQ(W.smallInt(), 1);
+  }).join();
+}
+
+TEST(SnapshotTest, ActiveProcessSlotIsEmptyAfterSaveAndLoad) {
+  std::string Path = tempPath("activeproc.image");
+  std::thread([&] {
+    TestVm T;
+    std::string Error;
+    ASSERT_TRUE(saveSnapshot(T.vm(), Path, Error)) << Error;
+    // §3.3: emptied after the snapshot.
+    EXPECT_EQ(ObjectMemory::fetchPointer(T.om().known().Processor,
+                                         SchedActiveProcess),
+              T.om().nil());
+  }).join();
+  std::thread([&] {
+    VirtualMachine VM(VmConfig::multiprocessor(1));
+    std::string Error;
+    ASSERT_TRUE(loadSnapshot(VM, Path, Error)) << Error;
+    EXPECT_EQ(ObjectMemory::fetchPointer(VM.model().known().Processor,
+                                         SchedActiveProcess),
+              VM.model().nil());
+  }).join();
+}
+
+TEST(SnapshotTest, LoadedImageRunsProcesses) {
+  std::string Path = tempPath("procs.image");
+  std::thread([&] {
+    TestVm T;
+    std::string Error;
+    ASSERT_TRUE(saveSnapshot(T.vm(), Path, Error)) << Error;
+  }).join();
+  std::thread([&] {
+    VirtualMachine VM(VmConfig::multiprocessor(2));
+    std::string Error;
+    ASSERT_TRUE(loadSnapshot(VM, Path, Error)) << Error;
+    VM.startInterpreters();
+    unsigned Sig = VM.createHostSignal();
+    Oop P = VM.forkDoIt("| s | s := 0. 1 to: 100 do: [:i | s := s + i]. "
+                        "s = 5050 ifTrue: [nil hostSignal: " +
+                            std::to_string(Sig) + "]",
+                        5, "post-load");
+    ASSERT_FALSE(P.isNull());
+    EXPECT_TRUE(VM.waitHostSignal(Sig, 1, 30.0));
+  }).join();
+}
+
+TEST(SnapshotTest, SmalltalkCreatedClassesSurvive) {
+  std::string Path = tempPath("stclasses.image");
+  std::thread([&] {
+    TestVm T;
+    // Separate doIts: the Sprite global must exist before code that
+    // names it compiles.
+    T.eval("Object subclass: #Sprite instanceVariableNames: 'pos' "
+           "category: 'Game'. ^1");
+    T.eval("Compiler compile: 'pos ^pos' into: Sprite. Compiler "
+           "compile: 'pos: p pos := p' into: Sprite. Smalltalk at: "
+           "#Hero put: (Sprite new pos: 3 @ 4). ^1");
+    std::string Error;
+    ASSERT_TRUE(saveSnapshot(T.vm(), Path, Error)) << Error;
+  }).join();
+  std::thread([&] {
+    VirtualMachine VM(VmConfig::multiprocessor(1));
+    std::string Error;
+    ASSERT_TRUE(loadSnapshot(VM, Path, Error)) << Error;
+    Oop S = VM.compileAndRun("^(Smalltalk at: #Hero) pos printString");
+    ASSERT_TRUE(S.isPointer());
+    EXPECT_EQ(ObjectModel::stringValue(S), "3 @ 4");
+    // And the class remains subclassable after the reload (two doIts:
+    // the Boss global must exist before code naming it compiles).
+    VM.compileAndRun("Sprite subclass: #Boss instanceVariableNames: "
+                     "'hp' category: 'Game'. ^1");
+    Oop R = VM.compileAndRun("^Boss instanceVariableNames size");
+    ASSERT_TRUE(R.isSmallInt());
+    EXPECT_EQ(R.smallInt(), 2);
+  }).join();
+}
+
+TEST(SnapshotTest, RejectsGarbageFiles) {
+  std::string Path = tempPath("garbage.image");
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  std::fputs("this is not an image", F);
+  std::fclose(F);
+  std::thread([&] {
+    VirtualMachine VM(VmConfig::multiprocessor(1));
+    std::string Error;
+    EXPECT_FALSE(loadSnapshot(VM, Path, Error));
+    EXPECT_FALSE(Error.empty());
+  }).join();
+}
+
+TEST(SnapshotTest, MissingFileFailsCleanly) {
+  std::thread([&] {
+    VirtualMachine VM(VmConfig::multiprocessor(1));
+    std::string Error;
+    EXPECT_FALSE(loadSnapshot(VM, "/nonexistent/nowhere.image", Error));
+    EXPECT_FALSE(Error.empty());
+  }).join();
+}
+
+} // namespace

@@ -1,0 +1,104 @@
+//===-- tests/io/IoTest.cpp - Display and event queues --------------------===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "io/Display.h"
+#include "io/EventQueue.h"
+
+using namespace mst;
+
+namespace {
+
+TEST(DisplayTest, RecordsCommandsInOrder) {
+  Display D(true, 4);
+  D.submit("a");
+  D.submit("b");
+  EXPECT_EQ(D.submittedCount(), 2u);
+  auto Recent = D.recentCommands();
+  ASSERT_EQ(Recent.size(), 2u);
+  EXPECT_EQ(Recent[0], "a");
+  EXPECT_EQ(Recent[1], "b");
+}
+
+TEST(DisplayTest, RingKeepsMostRecent) {
+  Display D(true, 3);
+  for (int I = 0; I < 10; ++I)
+    D.submit(std::to_string(I));
+  auto Recent = D.recentCommands();
+  ASSERT_EQ(Recent.size(), 3u);
+  EXPECT_EQ(Recent[0], "7");
+  EXPECT_EQ(Recent[2], "9");
+  EXPECT_EQ(D.submittedCount(), 10u);
+}
+
+TEST(DisplayTest, ConcurrentSubmissionsAllCounted) {
+  Display D(true, 8);
+  constexpr int PerThread = 5000;
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < 4; ++T)
+    Ts.emplace_back([&D] {
+      for (int I = 0; I < PerThread; ++I)
+        D.submit("x");
+    });
+  for (auto &T : Ts)
+    T.join();
+  EXPECT_EQ(D.submittedCount(), 4u * PerThread);
+}
+
+TEST(EventQueueTest, FifoOrder) {
+  EventQueue Q(true);
+  InputEvent A{InputEvent::Kind::Key, 65, 0, 1};
+  InputEvent B{InputEvent::Kind::MouseMove, 10, 20, 2};
+  Q.post(A);
+  Q.post(B);
+  InputEvent E;
+  ASSERT_TRUE(Q.next(E));
+  EXPECT_EQ(E.Type, InputEvent::Kind::Key);
+  EXPECT_EQ(E.A, 65);
+  ASSERT_TRUE(Q.next(E));
+  EXPECT_EQ(E.Type, InputEvent::Kind::MouseMove);
+  EXPECT_FALSE(Q.next(E));
+}
+
+TEST(EventQueueTest, CountsAndPending) {
+  EventQueue Q(true);
+  for (int I = 0; I < 5; ++I)
+    Q.post(InputEvent{});
+  EXPECT_EQ(Q.pending(), 5u);
+  InputEvent E;
+  Q.next(E);
+  EXPECT_EQ(Q.pending(), 4u);
+  EXPECT_EQ(Q.postedCount(), 5u);
+  EXPECT_EQ(Q.consumedCount(), 1u);
+}
+
+TEST(EventQueueTest, ProducerConsumerThreads) {
+  EventQueue Q(true);
+  constexpr int N = 10000;
+  std::thread Producer([&Q] {
+    for (int I = 0; I < N; ++I) {
+      InputEvent E;
+      E.A = I;
+      Q.post(E);
+    }
+  });
+  int Got = 0;
+  long Sum = 0;
+  while (Got < N) {
+    InputEvent E;
+    if (Q.next(E)) {
+      Sum += E.A;
+      ++Got;
+    }
+  }
+  Producer.join();
+  EXPECT_EQ(Sum, static_cast<long>(N) * (N - 1) / 2);
+}
+
+} // namespace

@@ -1,0 +1,117 @@
+//===-- tests/objmem/SafepointTest.cpp - Stop-the-world rendezvous --------===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include <atomic>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "objmem/Safepoint.h"
+#include "vkernel/Delay.h"
+
+using namespace mst;
+
+namespace {
+
+TEST(SafepointTest, SoloCoordinatorStopsAndResumes) {
+  Safepoint Sp;
+  Sp.registerMutator();
+  EXPECT_FALSE(Sp.pollNeeded());
+  ASSERT_TRUE(Sp.requestStopTheWorld());
+  Sp.resume();
+  EXPECT_EQ(Sp.pauseCount(), 1u);
+  Sp.unregisterMutator();
+}
+
+TEST(SafepointTest, MutatorsParkAtPolls) {
+  Safepoint Sp;
+  Sp.registerMutator(); // coordinator (this thread)
+
+  std::atomic<bool> Stop{false};
+  std::atomic<uint64_t> Iterations{0};
+  std::thread Mutator([&] {
+    Sp.registerMutator();
+    while (!Stop.load()) {
+      if (Sp.pollNeeded())
+        Sp.pollSlow();
+      Iterations.fetch_add(1);
+    }
+    Sp.unregisterMutator();
+  });
+
+  // Let it spin, then stop the world: the mutator must stall.
+  while (Iterations.load() < 1000)
+    vkDelay(100);
+  ASSERT_TRUE(Sp.requestStopTheWorld());
+  uint64_t At = Iterations.load();
+  vkDelay(20000);
+  // A few iterations may land between the flag and the park; the mutator
+  // must not still be running free.
+  EXPECT_LE(Iterations.load(), At + 2);
+  Sp.resume();
+  while (Iterations.load() < At + 1000)
+    vkDelay(100);
+  Stop.store(true);
+  Mutator.join();
+  Sp.unregisterMutator();
+}
+
+TEST(SafepointTest, BlockedRegionsCountAsSafe) {
+  Safepoint Sp;
+  Sp.registerMutator();
+
+  std::atomic<bool> Entered{false}, Release{false};
+  std::thread Sleeper([&] {
+    Sp.registerMutator();
+    {
+      BlockedRegion Region(Sp);
+      Entered.store(true);
+      while (!Release.load())
+        vkDelay(100);
+      // Leaving the region must wait out any pause in progress.
+    }
+    Sp.unregisterMutator();
+  });
+  while (!Entered.load())
+    vkDelay(100);
+  // The sleeper never polls, but the stop must succeed anyway.
+  ASSERT_TRUE(Sp.requestStopTheWorld());
+  Sp.resume();
+  Release.store(true);
+  Sleeper.join();
+  Sp.unregisterMutator();
+}
+
+TEST(SafepointTest, CompetingRequestersSerialize) {
+  Safepoint Sp;
+  constexpr unsigned N = 4;
+  std::atomic<unsigned> Coordinated{0};
+  std::atomic<unsigned> Deferred{0};
+  std::vector<std::thread> Ts;
+  for (unsigned I = 0; I < N; ++I) {
+    Ts.emplace_back([&] {
+      Sp.registerMutator();
+      for (int R = 0; R < 50; ++R) {
+        if (Sp.pollNeeded())
+          Sp.pollSlow();
+        if (Sp.requestStopTheWorld()) {
+          Coordinated.fetch_add(1);
+          Sp.resume();
+        } else {
+          Deferred.fetch_add(1); // someone else's pause ran
+        }
+      }
+      Sp.unregisterMutator();
+    });
+  }
+  for (auto &T : Ts)
+    T.join();
+  EXPECT_EQ(Coordinated.load() + Deferred.load(), N * 50);
+  EXPECT_GT(Coordinated.load(), 0u);
+  EXPECT_EQ(Sp.pauseCount(), Coordinated.load());
+}
+
+} // namespace

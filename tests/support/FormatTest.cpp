@@ -1,0 +1,61 @@
+//===-- tests/support/FormatTest.cpp - Text formatting --------------------===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include "support/Format.h"
+
+using namespace mst;
+
+namespace {
+
+TEST(FormatTest, FormatDouble) {
+  EXPECT_EQ(formatDouble(1.5, 2), "1.50");
+  EXPECT_EQ(formatDouble(0.0, 0), "0");
+  EXPECT_EQ(formatDouble(-3.14159, 3), "-3.142");
+}
+
+TEST(FormatTest, Padding) {
+  EXPECT_EQ(padLeft("ab", 5), "   ab");
+  EXPECT_EQ(padRight("ab", 5), "ab   ");
+  EXPECT_EQ(padLeft("abcdef", 3), "abcdef"); // never truncates
+  EXPECT_EQ(padRight("", 2), "  ");
+}
+
+TEST(FormatTest, TextTableAlignsColumns) {
+  TextTable T;
+  T.setHeader({"name", "value"});
+  T.addRow({"x", "1"});
+  T.addRow({"longer", "23456"});
+  std::string Out = T.render();
+  // Header, separator, two rows.
+  EXPECT_NE(Out.find("name"), std::string::npos);
+  EXPECT_NE(Out.find("-----"), std::string::npos);
+  // First column left-aligned, second right-aligned.
+  EXPECT_NE(Out.find("x       "), std::string::npos);
+  EXPECT_NE(Out.find("    1"), std::string::npos);
+  size_t Lines = 0;
+  for (char C : Out)
+    if (C == '\n')
+      ++Lines;
+  EXPECT_EQ(Lines, 4u);
+}
+
+TEST(FormatTest, TextTableWithoutHeader) {
+  TextTable T;
+  T.addRow({"a", "b"});
+  EXPECT_EQ(T.render(), "a  b\n");
+}
+
+TEST(FormatTest, AsciiBar) {
+  EXPECT_EQ(asciiBar(1.0, 1.0, 10), "##########");
+  EXPECT_EQ(asciiBar(0.5, 1.0, 10), "#####");
+  EXPECT_EQ(asciiBar(0.0, 1.0, 10), "");
+  EXPECT_EQ(asciiBar(2.0, 1.0, 10), "##########"); // clamped
+  EXPECT_EQ(asciiBar(1.0, 0.0, 10), "");           // degenerate max
+}
+
+} // namespace

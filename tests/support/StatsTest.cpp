@@ -1,0 +1,96 @@
+//===-- tests/support/StatsTest.cpp - Running statistics ------------------===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "support/SplitMix64.h"
+#include "support/Stats.h"
+
+using namespace mst;
+
+namespace {
+
+TEST(StatsTest, Empty) {
+  RunningStats S;
+  EXPECT_EQ(S.count(), 0u);
+  EXPECT_EQ(S.mean(), 0.0);
+  EXPECT_EQ(S.min(), 0.0);
+  EXPECT_EQ(S.max(), 0.0);
+  EXPECT_EQ(S.stddev(), 0.0);
+}
+
+TEST(StatsTest, SingleSample) {
+  RunningStats S;
+  S.add(42.0);
+  EXPECT_EQ(S.count(), 1u);
+  EXPECT_EQ(S.mean(), 42.0);
+  EXPECT_EQ(S.min(), 42.0);
+  EXPECT_EQ(S.max(), 42.0);
+  EXPECT_EQ(S.stddev(), 0.0);
+}
+
+TEST(StatsTest, KnownSequence) {
+  RunningStats S;
+  for (double X : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+    S.add(X);
+  EXPECT_DOUBLE_EQ(S.mean(), 5.0);
+  EXPECT_EQ(S.min(), 2.0);
+  EXPECT_EQ(S.max(), 9.0);
+  EXPECT_DOUBLE_EQ(S.sum(), 40.0);
+  // Sample stddev of that sequence is sqrt(32/7).
+  EXPECT_NEAR(S.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+/// Property: Welford accumulation matches the two-pass reference on
+/// random samples, across several seeds.
+class StatsPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StatsPropertyTest, MatchesTwoPassReference) {
+  SplitMix64 Rng(GetParam());
+  std::vector<double> Xs;
+  RunningStats S;
+  size_t N = 100 + Rng.nextBelow(400);
+  for (size_t I = 0; I < N; ++I) {
+    double X = Rng.nextDouble() * 2000.0 - 1000.0;
+    Xs.push_back(X);
+    S.add(X);
+  }
+  double Sum = 0;
+  for (double X : Xs)
+    Sum += X;
+  double Mean = Sum / static_cast<double>(N);
+  double Var = 0;
+  for (double X : Xs)
+    Var += (X - Mean) * (X - Mean);
+  Var /= static_cast<double>(N - 1);
+  EXPECT_EQ(S.count(), N);
+  EXPECT_NEAR(S.mean(), Mean, 1e-9);
+  EXPECT_NEAR(S.stddev(), std::sqrt(Var), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StatsPropertyTest,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 99999u));
+
+TEST(SplitMixTest, DeterministicAcrossInstances) {
+  SplitMix64 A(123), B(123);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(SplitMixTest, BoundsRespected) {
+  SplitMix64 Rng(7);
+  for (int I = 0; I < 1000; ++I) {
+    EXPECT_LT(Rng.nextBelow(17), 17u);
+    double D = Rng.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+} // namespace

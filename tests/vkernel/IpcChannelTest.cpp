@@ -1,0 +1,85 @@
+//===-- tests/vkernel/IpcChannelTest.cpp - Send/Receive/Reply -------------===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "vkernel/IpcChannel.h"
+
+using namespace mst;
+
+namespace {
+
+TEST(IpcChannelTest, SendBlocksUntilReply) {
+  IpcChannel Chan;
+  std::thread Server([&] {
+    uint64_t Req;
+    IpcChannel::MessageHandle H = Chan.receive(Req);
+    EXPECT_EQ(Req, 41u);
+    Chan.reply(H, Req + 1);
+  });
+  uint64_t R = Chan.send(41);
+  EXPECT_EQ(R, 42u);
+  Server.join();
+}
+
+TEST(IpcChannelTest, TryReceiveEmpty) {
+  IpcChannel Chan;
+  uint64_t Req;
+  EXPECT_EQ(Chan.tryReceive(Req), nullptr);
+  EXPECT_EQ(Chan.pendingSenders(), 0u);
+}
+
+TEST(IpcChannelTest, ManySendersOneReceiver) {
+  IpcChannel Chan;
+  constexpr unsigned N = 8;
+  std::vector<std::thread> Senders;
+  std::vector<uint64_t> Replies(N);
+  for (unsigned I = 0; I < N; ++I)
+    Senders.emplace_back([&Chan, &Replies, I] {
+      Replies[I] = Chan.send(I);
+    });
+  // The receiver replies with request * 2, in whatever order they arrive.
+  for (unsigned I = 0; I < N; ++I) {
+    uint64_t Req;
+    IpcChannel::MessageHandle H = Chan.receive(Req);
+    Chan.reply(H, Req * 2);
+  }
+  for (auto &T : Senders)
+    T.join();
+  for (unsigned I = 0; I < N; ++I)
+    EXPECT_EQ(Replies[I], uint64_t(I) * 2);
+  EXPECT_EQ(Chan.pendingSenders(), 0u);
+}
+
+TEST(IpcChannelTest, RendezvousStyleGathering) {
+  // The scavenge-rendezvous shape: N mutators send, a coordinator gathers
+  // all of them (holding replies), does its work, then releases everyone.
+  IpcChannel Chan;
+  constexpr unsigned N = 4;
+  std::atomic<unsigned> Released{0};
+  std::vector<std::thread> Mutators;
+  for (unsigned I = 0; I < N; ++I)
+    Mutators.emplace_back([&] {
+      Chan.send(1);
+      Released.fetch_add(1);
+    });
+  std::vector<IpcChannel::MessageHandle> Parked;
+  uint64_t Req;
+  for (unsigned I = 0; I < N; ++I)
+    Parked.push_back(Chan.receive(Req));
+  // World stopped: nobody released yet.
+  EXPECT_EQ(Released.load(), 0u);
+  for (auto H : Parked)
+    Chan.reply(H, 0);
+  for (auto &T : Mutators)
+    T.join();
+  EXPECT_EQ(Released.load(), N);
+}
+
+} // namespace

@@ -1,0 +1,113 @@
+//===-- tests/vm/CompilerRobustnessTest.cpp - Fuzz-lite compiler input ----===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compiler is user-facing (the "compile dummy method" path takes
+/// arbitrary strings at run time), so it must reject any input with an
+/// error, never crash. These sweeps feed it token soup, truncations of
+/// valid methods, and adversarial near-misses.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestVm.h"
+
+#include "support/SplitMix64.h"
+#include "vm/Compiler.h"
+
+using namespace mst;
+
+namespace {
+
+class CompilerRobustnessTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(CompilerRobustnessTest, TokenSoupNeverCrashes) {
+  TestVm T;
+  static const char *Atoms[] = {
+      "foo",  "at:",   "put:", "x",    "^",   ".",    "|",     "[",
+      "]",    "(",     ")",    ":=",   "+",   "-",    "3",     "42",
+      "'s'",  "#sym",  "$a",   ";",    ":",   "self", "super", "nil",
+      "#(",   "true",  "<",    ">",    "primitive:", "\"c\"",  "->",
+  };
+  SplitMix64 Rng(GetParam());
+  for (int Case = 0; Case < 300; ++Case) {
+    std::string Src;
+    size_t Len = 1 + Rng.nextBelow(20);
+    for (size_t I = 0; I < Len; ++I) {
+      Src += Atoms[Rng.nextBelow(sizeof(Atoms) / sizeof(Atoms[0]))];
+      Src += ' ';
+    }
+    // Must produce a method or a clean error, never abort.
+    CompileResult R = compileMethodSource(
+        T.om(), T.om().known().ClassObject, Src);
+    if (!R.ok()) {
+      EXPECT_FALSE(R.Error.empty()) << Src;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompilerRobustnessTest,
+                         ::testing::Values(101u, 202u, 303u));
+
+TEST(CompilerTruncationTest, EveryPrefixOfAValidMethodIsHandled) {
+  TestVm T;
+  const std::string Valid =
+      "classify: aSelector under: aCategory | list | list := categories "
+      "at: aCategory ifAbsent: [nil]. list isNil ifTrue: [list := "
+      "OrderedCollection new. categories at: aCategory put: list]. "
+      "(list includes: aSelector) ifFalse: [list add: aSelector]";
+  for (size_t Cut = 0; Cut <= Valid.size(); ++Cut) {
+    CompileResult R = compileMethodSource(
+        T.om(), T.om().globalAt("ClassOrganization"),
+        Valid.substr(0, Cut));
+    // Either outcome is fine; the process must survive and errors must
+    // carry text.
+    if (!R.ok()) {
+      EXPECT_FALSE(R.Error.empty()) << "cut at " << Cut;
+    }
+  }
+  // The full text still compiles.
+  CompileResult Full = compileMethodSource(
+      T.om(), T.om().globalAt("ClassOrganization"), Valid);
+  EXPECT_TRUE(Full.ok()) << Full.Error;
+}
+
+TEST(CompilerAdversarialTest, NearMisses) {
+  TestVm T;
+  const char *Cases[] = {
+      "m ^",                       // return without value
+      "m ^^1",                     // double caret
+      "m [",                       // dangling block
+      "m ]",                       // stray close
+      "m 1. . 2",                  // empty statement
+      "m | | ^1",                  // empty temps (legal)
+      "m | a a | ^a",              // duplicate temp (legal here)
+      "m ^#()",                    // empty literal array
+      "m ^'unterminated",          // lexer error
+      "m <primitive: 99999> ^1",   // absurd primitive index (legal)
+      "m: m ^m",                   // keyword pattern shadowing nothing
+      "m ^[:a :b :c :d :e | a]",   // many block params
+      "at: at ^at",                // parameter named like selector word
+      "m ^3 + + 4",                // missing operand? '+ +4' parses oddly
+      "m ^(((((1)))))",            // deep parens
+  };
+  for (const char *Src : Cases) {
+    CompileResult R = compileMethodSource(
+        T.om(), T.om().known().ClassObject, Src);
+    if (!R.ok()) {
+      EXPECT_FALSE(R.Error.empty()) << Src;
+    }
+  }
+  // An absurd-but-legal primitive index simply fails at run time and
+  // falls through to the body.
+  Oop Cls = defineClass(T.vm(), "PrimProbe", "Object", ClassKind::Fixed,
+                        {}, "Tests");
+  mustCompile(T.om(), &T.vm().cache(), Cls,
+              "probe <primitive: 9999> ^'fell through'");
+  EXPECT_EQ(T.evalString("^PrimProbe new probe"), "fell through");
+}
+
+} // namespace

@@ -1,0 +1,134 @@
+//===-- tests/vm/LexerTest.cpp - Tokenizer ---------------------------------===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include "vm/Lexer.h"
+
+using namespace mst;
+
+namespace {
+
+std::vector<Token> lexAll(const std::string &Src) {
+  Lexer L(Src);
+  std::vector<Token> Out;
+  for (;;) {
+    Token T = L.next();
+    if (T.Kind == TokenKind::End)
+      break;
+    Out.push_back(T);
+  }
+  return Out;
+}
+
+TEST(LexerTest, IdentifiersAndKeywords) {
+  auto Ts = lexAll("foo at: bar42 put: _x");
+  ASSERT_EQ(Ts.size(), 5u);
+  EXPECT_EQ(Ts[0].Kind, TokenKind::Identifier);
+  EXPECT_EQ(Ts[0].Text, "foo");
+  EXPECT_EQ(Ts[1].Kind, TokenKind::Keyword);
+  EXPECT_EQ(Ts[1].Text, "at:");
+  EXPECT_EQ(Ts[2].Text, "bar42");
+  EXPECT_EQ(Ts[3].Text, "put:");
+  EXPECT_EQ(Ts[4].Text, "_x");
+}
+
+TEST(LexerTest, Integers) {
+  // Note: "-7" after another integer lexes as binary minus (Smalltalk
+  // reads "123 -7" as a subtraction), so the negative comes first here.
+  auto Ts = lexAll("-7 0 123 16rFF 2r1010");
+  ASSERT_EQ(Ts.size(), 5u);
+  EXPECT_EQ(Ts[0].IntValue, -7);
+  EXPECT_EQ(Ts[1].IntValue, 0);
+  EXPECT_EQ(Ts[2].IntValue, 123);
+  EXPECT_EQ(Ts[3].IntValue, 255);
+  EXPECT_EQ(Ts[4].IntValue, 10);
+}
+
+TEST(LexerTest, MinusIsBinaryAfterOperand) {
+  // After an operand (identifier, integer, ')'), '-' is a subtraction.
+  for (const char *Src : {"a -1", "3 - 4", "(a) -1"}) {
+    auto Ts = lexAll(Src);
+    bool SawBinaryMinus = false;
+    for (const Token &T : Ts)
+      if (T.Kind == TokenKind::BinarySel && T.Text == "-")
+        SawBinaryMinus = true;
+    EXPECT_TRUE(SawBinaryMinus) << Src;
+  }
+  // In argument position (after a keyword), "-1" is a negative literal.
+  auto Ts = lexAll("at: -1");
+  ASSERT_EQ(Ts.size(), 2u);
+  EXPECT_EQ(Ts[1].Kind, TokenKind::Integer);
+  EXPECT_EQ(Ts[1].IntValue, -1);
+}
+
+TEST(LexerTest, StringsWithEscapes) {
+  auto Ts = lexAll("'hello' 'it''s'");
+  ASSERT_EQ(Ts.size(), 2u);
+  EXPECT_EQ(Ts[0].Text, "hello");
+  EXPECT_EQ(Ts[1].Text, "it's");
+}
+
+TEST(LexerTest, CharacterLiterals) {
+  auto Ts = lexAll("$a $  $$ $'");
+  ASSERT_EQ(Ts.size(), 4u);
+  EXPECT_EQ(Ts[0].Text, "a");
+  EXPECT_EQ(Ts[1].Text, " ");
+  EXPECT_EQ(Ts[2].Text, "$");
+  EXPECT_EQ(Ts[3].Text, "'");
+}
+
+TEST(LexerTest, Symbols) {
+  auto Ts = lexAll("#foo #at:put: #+ #'with space' #(1 2)");
+  ASSERT_GE(Ts.size(), 5u);
+  EXPECT_EQ(Ts[0].Kind, TokenKind::SymbolLit);
+  EXPECT_EQ(Ts[0].Text, "foo");
+  EXPECT_EQ(Ts[1].Text, "at:put:");
+  EXPECT_EQ(Ts[2].Text, "+");
+  EXPECT_EQ(Ts[3].Text, "with space");
+  EXPECT_EQ(Ts[4].Kind, TokenKind::ArrayStart);
+}
+
+TEST(LexerTest, CommentsAreSkipped) {
+  auto Ts = lexAll("a \"this is a comment\" b \"with \"\"quote\"\"\" c");
+  ASSERT_EQ(Ts.size(), 3u);
+  EXPECT_EQ(Ts[0].Text, "a");
+  EXPECT_EQ(Ts[1].Text, "b");
+  EXPECT_EQ(Ts[2].Text, "c");
+}
+
+TEST(LexerTest, PunctuationAndOperators) {
+  auto Ts = lexAll("^ x := y. ; | [ ] ( ) <= -> :");
+  ASSERT_GE(Ts.size(), 13u);
+  EXPECT_EQ(Ts[0].Kind, TokenKind::Caret);
+  EXPECT_EQ(Ts[2].Kind, TokenKind::Assign);
+  EXPECT_EQ(Ts[4].Kind, TokenKind::Period);
+  EXPECT_EQ(Ts[5].Kind, TokenKind::Semicolon);
+  EXPECT_EQ(Ts[6].Kind, TokenKind::VBar);
+  EXPECT_EQ(Ts[7].Kind, TokenKind::LBracket);
+  EXPECT_EQ(Ts[8].Kind, TokenKind::RBracket);
+  EXPECT_EQ(Ts[11].Text, "<=");
+  EXPECT_EQ(Ts[12].Text, "->");
+}
+
+TEST(LexerTest, ErrorsAreReported) {
+  Lexer L1("'unterminated");
+  EXPECT_TRUE(L1.hadError());
+  Lexer L2("\"unterminated comment");
+  EXPECT_TRUE(L2.hadError());
+  Lexer L3("7rZZ"); // radix literal without digits
+  EXPECT_TRUE(L3.hadError());
+}
+
+TEST(LexerTest, PeekDoesNotConsume) {
+  Lexer L("a b");
+  EXPECT_EQ(L.peek().Text, "a");
+  EXPECT_EQ(L.peek(1).Text, "b");
+  EXPECT_EQ(L.next().Text, "a");
+  EXPECT_EQ(L.peek().Text, "b");
+}
+
+} // namespace

@@ -1,0 +1,137 @@
+//===-- tests/vm/ObjectModelTest.cpp - Object model C++ API ----------------===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestVm.h"
+
+#include "vm/Compiler.h"
+
+using namespace mst;
+
+namespace {
+
+class ObjectModelTest : public ::testing::Test {
+protected:
+  TestVm T;
+};
+
+TEST_F(ObjectModelTest, MethodDictionaryGrowthKeepsAllEntries) {
+  // Regression: the first implementation of the dictionary grow path
+  // copied keys into the value slots, turning every method into its own
+  // selector. Install enough methods to force several growths and verify
+  // every single lookup.
+  Oop Cls = defineClass(T.vm(), "Crowded", "Object", ClassKind::Fixed, {},
+                        "Tests");
+  ObjectModel &Om = T.om();
+  constexpr int N = 40; // default capacity is 8: multiple growths
+  for (int I = 0; I < N; ++I) {
+    std::string Sel = "answer" + std::to_string(I);
+    mustCompile(Om, &T.vm().cache(), Cls,
+                Sel + " ^" + std::to_string(I * 100));
+  }
+  for (int I = 0; I < N; ++I) {
+    Oop Sel = Om.intern("answer" + std::to_string(I));
+    ObjectModel::LookupResult R = Om.lookupMethod(Cls, Sel);
+    ASSERT_FALSE(R.Method.isNull()) << "answer" << I << " lost in growth";
+    EXPECT_EQ(Om.classOf(R.Method), Om.known().ClassCompiledMethod);
+    EXPECT_EQ(ObjectMemory::fetchPointer(R.Method, MthSelector), Sel);
+  }
+  // And they all run.
+  EXPECT_EQ(T.evalInt("^Crowded new answer7"), 700);
+  EXPECT_EQ(T.evalInt("^Crowded new answer39"), 3900);
+}
+
+TEST_F(ObjectModelTest, MethodRedefinitionReplacesInPlace) {
+  Oop Cls = defineClass(T.vm(), "Redefined", "Object", ClassKind::Fixed,
+                        {}, "Tests");
+  mustCompile(T.om(), &T.vm().cache(), Cls, "v ^1");
+  EXPECT_EQ(T.evalInt("^Redefined new v"), 1);
+  mustCompile(T.om(), &T.vm().cache(), Cls, "v ^2");
+  EXPECT_EQ(T.evalInt("^Redefined new v"), 2);
+  // Redefinition must not grow the tally.
+  Oop Md = ObjectMemory::fetchPointer(Cls, ClsMethodDict);
+  EXPECT_EQ(ObjectMemory::fetchPointer(Md, MdTally).smallInt(), 1);
+}
+
+TEST_F(ObjectModelTest, GlobalDictionaryGrowth) {
+  // Push the system dictionary through several growths; every binding
+  // must remain reachable from both C++ and Smalltalk.
+  ObjectModel &Om = T.om();
+  for (int I = 0; I < 300; ++I)
+    Om.globalPut("TestGlobal" + std::to_string(I), Oop::fromSmallInt(I));
+  for (int I = 0; I < 300; ++I) {
+    Oop V = Om.globalAt("TestGlobal" + std::to_string(I));
+    ASSERT_TRUE(V.isSmallInt());
+    EXPECT_EQ(V.smallInt(), I);
+  }
+  EXPECT_EQ(T.evalInt("^TestGlobal237"), 237);
+  EXPECT_EQ(T.evalInt("^Smalltalk at: #TestGlobal0"), 0);
+}
+
+TEST_F(ObjectModelTest, MakeClassInheritsLayout) {
+  Oop Base = defineClass(T.vm(), "LayoutBase", "Object", ClassKind::Fixed,
+                         {"alpha", "beta"}, "Tests");
+  Oop Sub = defineClass(T.vm(), "LayoutSub", "LayoutBase",
+                        ClassKind::Fixed, {"gamma"}, "Tests");
+  EXPECT_EQ(T.om().fixedFieldsOf(Base), 2u);
+  EXPECT_EQ(T.om().fixedFieldsOf(Sub), 3u);
+  Oop Names = ObjectMemory::fetchPointer(Sub, ClsInstVarNames);
+  ASSERT_EQ(Names.object()->SlotCount, 3u);
+  EXPECT_EQ(ObjectModel::stringValue(Names.object()->slots()[0]),
+            "alpha");
+  EXPECT_EQ(ObjectModel::stringValue(Names.object()->slots()[2]),
+            "gamma");
+  // Inherited accessors see subclass instances' inherited slots.
+  addMethod(T.vm(), Base, "accessing", "alpha ^alpha");
+  addMethod(T.vm(), Base, "accessing", "alpha: v alpha := v");
+  addMethod(T.vm(), Sub, "accessing", "gamma: v gamma := v");
+  EXPECT_EQ(T.evalInt("| s | s := LayoutSub new. s alpha: 5. s gamma: "
+                      "90. ^s alpha"),
+            5);
+}
+
+TEST_F(ObjectModelTest, IndexableClassKinds) {
+  Oop Words = defineClass(T.vm(), "WordVector", "Object",
+                          ClassKind::IdxPointers, {}, "Tests");
+  (void)Words;
+  EXPECT_EQ(T.evalInt("^(WordVector new: 7) size"), 7);
+  EXPECT_EQ(T.evalInt("| v | v := WordVector new: 3. v at: 2 put: 99. "
+                      "^v at: 2"),
+            99);
+  Oop Bytes = defineClass(T.vm(), "Blob", "Object", ClassKind::IdxBytes,
+                          {}, "Tests");
+  (void)Bytes;
+  EXPECT_EQ(T.evalInt("| b | b := Blob new: 4. b at: 1 put: 255. ^b at: "
+                      "1"),
+            255);
+}
+
+TEST_F(ObjectModelTest, LookupHonorsOverridesAlongTheChain) {
+  Oop Base = defineClass(T.vm(), "Speak", "Object", ClassKind::Fixed, {},
+                         "Tests");
+  Oop Sub = defineClass(T.vm(), "Shout", "Speak", ClassKind::Fixed, {},
+                        "Tests");
+  addMethod(T.vm(), Base, "t", "noise ^'quiet'");
+  addMethod(T.vm(), Sub, "t", "noise ^'LOUD, ', super noise");
+  EXPECT_EQ(T.evalString("^Speak new noise"), "quiet");
+  EXPECT_EQ(T.evalString("^Shout new noise"), "LOUD, quiet");
+  ObjectModel::LookupResult R =
+      T.om().lookupMethod(Sub, T.om().intern("noise"));
+  EXPECT_EQ(R.DefiningClass, Sub);
+}
+
+TEST_F(ObjectModelTest, CacheInvalidationOnRedefinition) {
+  // Warm the cache through real sends, redefine, and expect the new
+  // method immediately (flushSelector on install).
+  Oop Cls = defineClass(T.vm(), "Hotswap", "Object", ClassKind::Fixed, {},
+                        "Tests");
+  mustCompile(T.om(), &T.vm().cache(), Cls, "probe ^111");
+  for (int I = 0; I < 10; ++I)
+    EXPECT_EQ(T.evalInt("^Hotswap new probe"), 111);
+  mustCompile(T.om(), &T.vm().cache(), Cls, "probe ^222");
+  EXPECT_EQ(T.evalInt("^Hotswap new probe"), 222);
+}
+
+} // namespace

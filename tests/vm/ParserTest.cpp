@@ -1,0 +1,153 @@
+//===-- tests/vm/ParserTest.cpp - Method grammar ---------------------------===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include "vm/Parser.h"
+
+using namespace mst;
+
+namespace {
+
+MethodNode parseOk(const std::string &Src) {
+  Parser P(Src);
+  MethodNode M;
+  EXPECT_TRUE(P.parseMethod(M)) << P.errorMessage() << " for: " << Src;
+  return M;
+}
+
+TEST(ParserTest, UnaryPattern) {
+  MethodNode M = parseOk("size ^0");
+  EXPECT_EQ(M.Selector, "size");
+  EXPECT_TRUE(M.Params.empty());
+  ASSERT_EQ(M.Body.size(), 1u);
+  EXPECT_EQ(M.Body[0]->K, ExprNode::Kind::Return);
+}
+
+TEST(ParserTest, BinaryPattern) {
+  MethodNode M = parseOk("+ other ^other");
+  EXPECT_EQ(M.Selector, "+");
+  ASSERT_EQ(M.Params.size(), 1u);
+  EXPECT_EQ(M.Params[0], "other");
+}
+
+TEST(ParserTest, KeywordPattern) {
+  MethodNode M = parseOk("at: i put: v ^v");
+  EXPECT_EQ(M.Selector, "at:put:");
+  ASSERT_EQ(M.Params.size(), 2u);
+  EXPECT_EQ(M.Params[0], "i");
+  EXPECT_EQ(M.Params[1], "v");
+}
+
+TEST(ParserTest, PrimitivePragma) {
+  MethodNode M = parseOk("size <primitive: 3> ^self error: 'x'");
+  EXPECT_EQ(M.PrimitiveIndex, 3);
+  EXPECT_EQ(M.Body.size(), 1u);
+}
+
+TEST(ParserTest, Temporaries) {
+  MethodNode M = parseOk("foo | a b c | a := 1. ^a");
+  ASSERT_EQ(M.Temps.size(), 3u);
+  EXPECT_EQ(M.Temps[1], "b");
+  EXPECT_EQ(M.Body.size(), 2u);
+  EXPECT_EQ(M.Body[0]->K, ExprNode::Kind::Assign);
+}
+
+TEST(ParserTest, KeywordMessageGrouping) {
+  // a foo: b bar baz: c qux  ==>  a foo:baz: with unary-refined args.
+  MethodNode M = parseOk("m ^a foo: b bar baz: c qux");
+  // Will fail name resolution at codegen, but the parse shape matters.
+  const ExprNode &Ret = *M.Body[0];
+  const ExprNode &Send = *Ret.Args[0];
+  EXPECT_EQ(Send.K, ExprNode::Kind::Send);
+  EXPECT_EQ(Send.Message.Selector, "foo:baz:");
+  ASSERT_EQ(Send.Message.Args.size(), 2u);
+  EXPECT_EQ(Send.Message.Args[0]->K, ExprNode::Kind::Send); // b bar
+  EXPECT_EQ(Send.Message.Args[0]->Message.Selector, "bar");
+}
+
+TEST(ParserTest, BinaryLeftAssociative) {
+  MethodNode M = parseOk("m ^1 + 2 * 3");
+  const ExprNode &Send = *M.Body[0]->Args[0];
+  EXPECT_EQ(Send.Message.Selector, "*");
+  EXPECT_EQ(Send.Receiver->Message.Selector, "+");
+}
+
+TEST(ParserTest, Cascade) {
+  MethodNode M = parseOk("m c add: 1; add: 2; yourself");
+  const ExprNode &Casc = *M.Body[0];
+  EXPECT_EQ(Casc.K, ExprNode::Kind::Cascade);
+  ASSERT_EQ(Casc.Cascades.size(), 3u);
+  EXPECT_EQ(Casc.Cascades[0].Selector, "add:");
+  EXPECT_EQ(Casc.Cascades[2].Selector, "yourself");
+  EXPECT_EQ(Casc.Receiver->Text, "c");
+}
+
+TEST(ParserTest, Blocks) {
+  MethodNode M = parseOk("m ^[:x :y | | t | t := x. t + y]");
+  const ExprNode &B = *M.Body[0]->Args[0];
+  EXPECT_EQ(B.K, ExprNode::Kind::Block);
+  ASSERT_EQ(B.BlockParams.size(), 2u);
+  EXPECT_EQ(B.BlockParams[1], "y");
+  ASSERT_EQ(B.BlockTemps.size(), 1u);
+  EXPECT_EQ(B.Body.size(), 2u);
+}
+
+TEST(ParserTest, EmptyBlock) {
+  MethodNode M = parseOk("m ^[]");
+  EXPECT_EQ(M.Body[0]->Args[0]->K, ExprNode::Kind::Block);
+  EXPECT_TRUE(M.Body[0]->Args[0]->Body.empty());
+}
+
+TEST(ParserTest, ArrayLiterals) {
+  MethodNode M = parseOk("m ^#(1 'two' $3 four five: (6 7))");
+  const ExprNode &A = *M.Body[0]->Args[0];
+  EXPECT_EQ(A.K, ExprNode::Kind::ArrayLit);
+  ASSERT_EQ(A.Elements.size(), 6u);
+  EXPECT_EQ(A.Elements[0]->K, ExprNode::Kind::IntLit);
+  EXPECT_EQ(A.Elements[1]->K, ExprNode::Kind::StrLit);
+  EXPECT_EQ(A.Elements[2]->K, ExprNode::Kind::CharLit);
+  EXPECT_EQ(A.Elements[3]->K, ExprNode::Kind::SymLit);
+  EXPECT_EQ(A.Elements[4]->K, ExprNode::Kind::SymLit);
+  EXPECT_EQ(A.Elements[5]->K, ExprNode::Kind::ArrayLit);
+}
+
+TEST(ParserTest, DoItWrapsLastExpression) {
+  Parser P("3 + 4. 5 + 6");
+  MethodNode M;
+  ASSERT_TRUE(P.parseDoIt(M));
+  EXPECT_EQ(M.Selector, "doIt");
+  ASSERT_EQ(M.Body.size(), 2u);
+  EXPECT_EQ(M.Body[1]->K, ExprNode::Kind::Return);
+}
+
+TEST(ParserTest, Errors) {
+  auto Fails = [](const std::string &Src) {
+    Parser P(Src);
+    MethodNode M;
+    EXPECT_FALSE(P.parseMethod(M)) << "should fail: " << Src;
+    EXPECT_FALSE(P.errorMessage().empty());
+  };
+  Fails("");                    // no pattern
+  Fails("at: ^1");              // keyword pattern missing parameter
+  Fails("m ^(1 + 2");           // unbalanced paren
+  Fails("m ^[:x 1]");           // block params without |
+  Fails("m | a ^1");            // unterminated temporaries
+  Fails("m 1 + 2 3");           // missing period
+  Fails("m <primitive: x> ^1"); // bad pragma
+  Fails("m ^1. junk ^2 extra"); // junk after body... (missing period)
+}
+
+TEST(ParserTest, StatementsAfterReturnRejectedByCodegenNotParser) {
+  // The parser accepts trailing code after ^ only as separate statements;
+  // code generation rejects them. Here we just pin the parse.
+  Parser P("m ^1. ^2");
+  MethodNode M;
+  EXPECT_TRUE(P.parseMethod(M));
+  EXPECT_EQ(M.Body.size(), 2u);
+}
+
+} // namespace

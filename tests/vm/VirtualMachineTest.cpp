@@ -1,0 +1,101 @@
+//===-- tests/vm/VirtualMachineTest.cpp - VM facade ------------------------===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestVm.h"
+
+using namespace mst;
+
+namespace {
+
+TEST(VirtualMachineTest, ConfigPresets) {
+  VmConfig BS = VmConfig::baselineBS();
+  EXPECT_EQ(BS.Interpreters, 1u);
+  EXPECT_FALSE(BS.MpSupport);
+  EXPECT_FALSE(BS.Memory.MpSupport);
+
+  VmConfig MS = VmConfig::multiprocessor(4);
+  EXPECT_EQ(MS.Interpreters, 4u);
+  EXPECT_TRUE(MS.MpSupport);
+  EXPECT_EQ(MS.CacheKind, MethodCacheKind::Replicated);
+  EXPECT_EQ(MS.FreeCtxKind, FreeContextKind::Replicated);
+}
+
+TEST(VirtualMachineTest, CompileErrorsAreLoggedNotFatal) {
+  TestVm T;
+  EXPECT_TRUE(T.vm().compileAndRun("^((").isNull());
+  EXPECT_TRUE(T.vm().forkDoIt("^((", 5, "broken").isNull());
+  auto Errors = T.vm().errors();
+  ASSERT_GE(Errors.size(), 2u);
+  EXPECT_NE(Errors[0].find("compile error"), std::string::npos);
+  EXPECT_EQ(T.evalInt("^1"), 1);
+}
+
+TEST(VirtualMachineTest, HostSignalTimeoutAndCounting) {
+  TestVm T;
+  unsigned Sig = T.vm().createHostSignal();
+  EXPECT_FALSE(T.vm().waitHostSignal(Sig, 1, 0.05)) << "nothing signals";
+  T.vm().hostSignal(Sig);
+  T.vm().hostSignal(Sig);
+  EXPECT_TRUE(T.vm().waitHostSignal(Sig, 2, 1.0));
+  EXPECT_FALSE(T.vm().waitHostSignal(Sig, 3, 0.05));
+  // Unknown ids are ignored, not fatal.
+  T.vm().hostSignal(12345);
+}
+
+TEST(VirtualMachineTest, MillisecondClockAdvances) {
+  TestVm T;
+  intptr_t A = T.evalInt("^nil millisecondClock");
+  intptr_t B = T.evalInt("| n | n := 0. 1 to: 200000 do: [:i | n := n + "
+                         "1]. ^nil millisecondClock");
+  EXPECT_GE(B, A);
+  EXPECT_GE(T.vm().millisecondClock(), B);
+}
+
+TEST(VirtualMachineTest, BytecodeCountingGrows) {
+  TestVm T;
+  uint64_t A = T.vm().totalBytecodes();
+  T.evalInt("| n | n := 0. 1 to: 10000 do: [:i | n := n + 1]. ^n");
+  EXPECT_GT(T.vm().totalBytecodes(), A + 10000);
+}
+
+TEST(VirtualMachineTest, ShutdownIsIdempotent) {
+  VirtualMachine VM(VmConfig::multiprocessor(2));
+  bootstrapImage(VM);
+  VM.startInterpreters();
+  VM.shutdown();
+  VM.shutdown(); // second call must be a no-op
+  EXPECT_TRUE(VM.stopping());
+}
+
+TEST(VirtualMachineTest, ShutdownWithRunningProcesses) {
+  // Infinite Processes must not prevent shutdown (the stop flag is
+  // checked inside the bytecode loop).
+  VirtualMachine VM(VmConfig::multiprocessor(2));
+  bootstrapImage(VM);
+  VM.startInterpreters();
+  VM.forkDoIt("[true] whileTrue", 5, "immortal-1");
+  VM.forkDoIt("[true] whileTrue: [Point x: 1 y: 2]", 5, "immortal-2");
+  VM.shutdown(); // must return promptly (joinAll inside)
+  SUCCEED();
+}
+
+TEST(VirtualMachineTest, StatisticsReportOnFreshVm) {
+  TestVm T;
+  std::string R = T.vm().statisticsReport();
+  EXPECT_NE(R.find("instrumentation report"), std::string::npos);
+  EXPECT_NE(R.find("method cache"), std::string::npos);
+}
+
+TEST(VirtualMachineTest, DriverRootsAreGcSafe) {
+  // A doIt result referencing fresh objects must survive a forced
+  // scavenge triggered from within the same doIt.
+  TestVm T;
+  EXPECT_EQ(T.evalString("| s | s := 'keep', 'me'. nil forceScavenge. "
+                         "^s"),
+            "keepme");
+}
+
+} // namespace
