@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_free_contexts.dir/bench_free_contexts.cpp.o"
+  "CMakeFiles/bench_free_contexts.dir/bench_free_contexts.cpp.o.d"
+  "bench_free_contexts"
+  "bench_free_contexts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_free_contexts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

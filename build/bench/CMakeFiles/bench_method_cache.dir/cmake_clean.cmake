@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_method_cache.dir/bench_method_cache.cpp.o"
+  "CMakeFiles/bench_method_cache.dir/bench_method_cache.cpp.o.d"
+  "bench_method_cache"
+  "bench_method_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_method_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

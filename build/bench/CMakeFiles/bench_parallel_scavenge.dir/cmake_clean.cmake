@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parallel_scavenge.dir/bench_parallel_scavenge.cpp.o"
+  "CMakeFiles/bench_parallel_scavenge.dir/bench_parallel_scavenge.cpp.o.d"
+  "bench_parallel_scavenge"
+  "bench_parallel_scavenge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parallel_scavenge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

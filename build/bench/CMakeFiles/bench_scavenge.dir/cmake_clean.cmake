@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scavenge.dir/bench_scavenge.cpp.o"
+  "CMakeFiles/bench_scavenge.dir/bench_scavenge.cpp.o.d"
+  "bench_scavenge"
+  "bench_scavenge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scavenge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

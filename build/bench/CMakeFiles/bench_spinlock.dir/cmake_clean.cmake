@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spinlock.dir/bench_spinlock.cpp.o"
+  "CMakeFiles/bench_spinlock.dir/bench_spinlock.cpp.o.d"
+  "bench_spinlock"
+  "bench_spinlock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spinlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_workers.dir/parallel_workers.cpp.o"
+  "CMakeFiles/parallel_workers.dir/parallel_workers.cpp.o.d"
+  "parallel_workers"
+  "parallel_workers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_workers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapshot_roundtrip.dir/snapshot_roundtrip.cpp.o"
+  "CMakeFiles/snapshot_roundtrip.dir/snapshot_roundtrip.cpp.o.d"
+  "snapshot_roundtrip"
+  "snapshot_roundtrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapshot_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

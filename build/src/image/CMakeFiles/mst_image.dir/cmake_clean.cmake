@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mst_image.dir/Bootstrap.cpp.o"
+  "CMakeFiles/mst_image.dir/Bootstrap.cpp.o.d"
+  "CMakeFiles/mst_image.dir/KernelSource.cpp.o"
+  "CMakeFiles/mst_image.dir/KernelSource.cpp.o.d"
+  "CMakeFiles/mst_image.dir/MacroBenchmarks.cpp.o"
+  "CMakeFiles/mst_image.dir/MacroBenchmarks.cpp.o.d"
+  "CMakeFiles/mst_image.dir/Snapshot.cpp.o"
+  "CMakeFiles/mst_image.dir/Snapshot.cpp.o.d"
+  "libmst_image.a"
+  "libmst_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mst_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

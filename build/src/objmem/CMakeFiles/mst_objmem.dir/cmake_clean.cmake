@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mst_objmem.dir/ObjectMemory.cpp.o"
+  "CMakeFiles/mst_objmem.dir/ObjectMemory.cpp.o.d"
+  "CMakeFiles/mst_objmem.dir/Safepoint.cpp.o"
+  "CMakeFiles/mst_objmem.dir/Safepoint.cpp.o.d"
+  "CMakeFiles/mst_objmem.dir/Scavenger.cpp.o"
+  "CMakeFiles/mst_objmem.dir/Scavenger.cpp.o.d"
+  "CMakeFiles/mst_objmem.dir/Spaces.cpp.o"
+  "CMakeFiles/mst_objmem.dir/Spaces.cpp.o.d"
+  "libmst_objmem.a"
+  "libmst_objmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mst_objmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

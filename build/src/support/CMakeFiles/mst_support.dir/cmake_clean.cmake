@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mst_support.dir/Format.cpp.o"
+  "CMakeFiles/mst_support.dir/Format.cpp.o.d"
+  "CMakeFiles/mst_support.dir/Stats.cpp.o"
+  "CMakeFiles/mst_support.dir/Stats.cpp.o.d"
+  "CMakeFiles/mst_support.dir/Timer.cpp.o"
+  "CMakeFiles/mst_support.dir/Timer.cpp.o.d"
+  "libmst_support.a"
+  "libmst_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mst_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vkernel/Delay.cpp" "src/vkernel/CMakeFiles/mst_vkernel.dir/Delay.cpp.o" "gcc" "src/vkernel/CMakeFiles/mst_vkernel.dir/Delay.cpp.o.d"
+  "/root/repo/src/vkernel/IpcChannel.cpp" "src/vkernel/CMakeFiles/mst_vkernel.dir/IpcChannel.cpp.o" "gcc" "src/vkernel/CMakeFiles/mst_vkernel.dir/IpcChannel.cpp.o.d"
+  "/root/repo/src/vkernel/SpinLock.cpp" "src/vkernel/CMakeFiles/mst_vkernel.dir/SpinLock.cpp.o" "gcc" "src/vkernel/CMakeFiles/mst_vkernel.dir/SpinLock.cpp.o.d"
+  "/root/repo/src/vkernel/VKernel.cpp" "src/vkernel/CMakeFiles/mst_vkernel.dir/VKernel.cpp.o" "gcc" "src/vkernel/CMakeFiles/mst_vkernel.dir/VKernel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mst_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mst_vkernel.dir/Delay.cpp.o"
+  "CMakeFiles/mst_vkernel.dir/Delay.cpp.o.d"
+  "CMakeFiles/mst_vkernel.dir/IpcChannel.cpp.o"
+  "CMakeFiles/mst_vkernel.dir/IpcChannel.cpp.o.d"
+  "CMakeFiles/mst_vkernel.dir/SpinLock.cpp.o"
+  "CMakeFiles/mst_vkernel.dir/SpinLock.cpp.o.d"
+  "CMakeFiles/mst_vkernel.dir/VKernel.cpp.o"
+  "CMakeFiles/mst_vkernel.dir/VKernel.cpp.o.d"
+  "libmst_vkernel.a"
+  "libmst_vkernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mst_vkernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/Bytecode.cpp" "src/vm/CMakeFiles/mst_vm.dir/Bytecode.cpp.o" "gcc" "src/vm/CMakeFiles/mst_vm.dir/Bytecode.cpp.o.d"
+  "/root/repo/src/vm/CodeGen.cpp" "src/vm/CMakeFiles/mst_vm.dir/CodeGen.cpp.o" "gcc" "src/vm/CMakeFiles/mst_vm.dir/CodeGen.cpp.o.d"
+  "/root/repo/src/vm/Compiler.cpp" "src/vm/CMakeFiles/mst_vm.dir/Compiler.cpp.o" "gcc" "src/vm/CMakeFiles/mst_vm.dir/Compiler.cpp.o.d"
+  "/root/repo/src/vm/Decompiler.cpp" "src/vm/CMakeFiles/mst_vm.dir/Decompiler.cpp.o" "gcc" "src/vm/CMakeFiles/mst_vm.dir/Decompiler.cpp.o.d"
+  "/root/repo/src/vm/FreeContextList.cpp" "src/vm/CMakeFiles/mst_vm.dir/FreeContextList.cpp.o" "gcc" "src/vm/CMakeFiles/mst_vm.dir/FreeContextList.cpp.o.d"
+  "/root/repo/src/vm/Interpreter.cpp" "src/vm/CMakeFiles/mst_vm.dir/Interpreter.cpp.o" "gcc" "src/vm/CMakeFiles/mst_vm.dir/Interpreter.cpp.o.d"
+  "/root/repo/src/vm/Lexer.cpp" "src/vm/CMakeFiles/mst_vm.dir/Lexer.cpp.o" "gcc" "src/vm/CMakeFiles/mst_vm.dir/Lexer.cpp.o.d"
+  "/root/repo/src/vm/MethodCache.cpp" "src/vm/CMakeFiles/mst_vm.dir/MethodCache.cpp.o" "gcc" "src/vm/CMakeFiles/mst_vm.dir/MethodCache.cpp.o.d"
+  "/root/repo/src/vm/ObjectModel.cpp" "src/vm/CMakeFiles/mst_vm.dir/ObjectModel.cpp.o" "gcc" "src/vm/CMakeFiles/mst_vm.dir/ObjectModel.cpp.o.d"
+  "/root/repo/src/vm/Parser.cpp" "src/vm/CMakeFiles/mst_vm.dir/Parser.cpp.o" "gcc" "src/vm/CMakeFiles/mst_vm.dir/Parser.cpp.o.d"
+  "/root/repo/src/vm/Primitives.cpp" "src/vm/CMakeFiles/mst_vm.dir/Primitives.cpp.o" "gcc" "src/vm/CMakeFiles/mst_vm.dir/Primitives.cpp.o.d"
+  "/root/repo/src/vm/Scheduler.cpp" "src/vm/CMakeFiles/mst_vm.dir/Scheduler.cpp.o" "gcc" "src/vm/CMakeFiles/mst_vm.dir/Scheduler.cpp.o.d"
+  "/root/repo/src/vm/SymbolTable.cpp" "src/vm/CMakeFiles/mst_vm.dir/SymbolTable.cpp.o" "gcc" "src/vm/CMakeFiles/mst_vm.dir/SymbolTable.cpp.o.d"
+  "/root/repo/src/vm/VirtualMachine.cpp" "src/vm/CMakeFiles/mst_vm.dir/VirtualMachine.cpp.o" "gcc" "src/vm/CMakeFiles/mst_vm.dir/VirtualMachine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/objmem/CMakeFiles/mst_objmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/vkernel/CMakeFiles/mst_vkernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mst_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mst_vm.dir/Bytecode.cpp.o"
+  "CMakeFiles/mst_vm.dir/Bytecode.cpp.o.d"
+  "CMakeFiles/mst_vm.dir/CodeGen.cpp.o"
+  "CMakeFiles/mst_vm.dir/CodeGen.cpp.o.d"
+  "CMakeFiles/mst_vm.dir/Compiler.cpp.o"
+  "CMakeFiles/mst_vm.dir/Compiler.cpp.o.d"
+  "CMakeFiles/mst_vm.dir/Decompiler.cpp.o"
+  "CMakeFiles/mst_vm.dir/Decompiler.cpp.o.d"
+  "CMakeFiles/mst_vm.dir/FreeContextList.cpp.o"
+  "CMakeFiles/mst_vm.dir/FreeContextList.cpp.o.d"
+  "CMakeFiles/mst_vm.dir/Interpreter.cpp.o"
+  "CMakeFiles/mst_vm.dir/Interpreter.cpp.o.d"
+  "CMakeFiles/mst_vm.dir/Lexer.cpp.o"
+  "CMakeFiles/mst_vm.dir/Lexer.cpp.o.d"
+  "CMakeFiles/mst_vm.dir/MethodCache.cpp.o"
+  "CMakeFiles/mst_vm.dir/MethodCache.cpp.o.d"
+  "CMakeFiles/mst_vm.dir/ObjectModel.cpp.o"
+  "CMakeFiles/mst_vm.dir/ObjectModel.cpp.o.d"
+  "CMakeFiles/mst_vm.dir/Parser.cpp.o"
+  "CMakeFiles/mst_vm.dir/Parser.cpp.o.d"
+  "CMakeFiles/mst_vm.dir/Primitives.cpp.o"
+  "CMakeFiles/mst_vm.dir/Primitives.cpp.o.d"
+  "CMakeFiles/mst_vm.dir/Scheduler.cpp.o"
+  "CMakeFiles/mst_vm.dir/Scheduler.cpp.o.d"
+  "CMakeFiles/mst_vm.dir/SymbolTable.cpp.o"
+  "CMakeFiles/mst_vm.dir/SymbolTable.cpp.o.d"
+  "CMakeFiles/mst_vm.dir/VirtualMachine.cpp.o"
+  "CMakeFiles/mst_vm.dir/VirtualMachine.cpp.o.d"
+  "libmst_vm.a"
+  "libmst_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mst_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

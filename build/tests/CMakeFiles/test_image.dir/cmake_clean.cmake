@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_image.dir/image/BootstrapTest.cpp.o"
+  "CMakeFiles/test_image.dir/image/BootstrapTest.cpp.o.d"
+  "CMakeFiles/test_image.dir/image/BrowsingTest.cpp.o"
+  "CMakeFiles/test_image.dir/image/BrowsingTest.cpp.o.d"
+  "CMakeFiles/test_image.dir/image/KernelTest.cpp.o"
+  "CMakeFiles/test_image.dir/image/KernelTest.cpp.o.d"
+  "CMakeFiles/test_image.dir/image/MacroWorkloadTest.cpp.o"
+  "CMakeFiles/test_image.dir/image/MacroWorkloadTest.cpp.o.d"
+  "CMakeFiles/test_image.dir/image/SnapshotTest.cpp.o"
+  "CMakeFiles/test_image.dir/image/SnapshotTest.cpp.o.d"
+  "test_image"
+  "test_image.pdb"
+  "test_image[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/io/IoTest.cpp" "tests/CMakeFiles/test_io.dir/io/IoTest.cpp.o" "gcc" "tests/CMakeFiles/test_io.dir/io/IoTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/image/CMakeFiles/mst_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/mst_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/objmem/CMakeFiles/mst_objmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/vkernel/CMakeFiles/mst_vkernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mst_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_objmem.dir/objmem/ObjectMemoryTest.cpp.o"
+  "CMakeFiles/test_objmem.dir/objmem/ObjectMemoryTest.cpp.o.d"
+  "CMakeFiles/test_objmem.dir/objmem/OopTest.cpp.o"
+  "CMakeFiles/test_objmem.dir/objmem/OopTest.cpp.o.d"
+  "CMakeFiles/test_objmem.dir/objmem/SafepointTest.cpp.o"
+  "CMakeFiles/test_objmem.dir/objmem/SafepointTest.cpp.o.d"
+  "CMakeFiles/test_objmem.dir/objmem/ScavengerTest.cpp.o"
+  "CMakeFiles/test_objmem.dir/objmem/ScavengerTest.cpp.o.d"
+  "test_objmem"
+  "test_objmem.pdb"
+  "test_objmem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_objmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_support.dir/support/FormatTest.cpp.o"
+  "CMakeFiles/test_support.dir/support/FormatTest.cpp.o.d"
+  "CMakeFiles/test_support.dir/support/StatsTest.cpp.o"
+  "CMakeFiles/test_support.dir/support/StatsTest.cpp.o.d"
+  "test_support"
+  "test_support.pdb"
+  "test_support[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

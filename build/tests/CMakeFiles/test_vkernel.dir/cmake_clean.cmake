@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vkernel.dir/vkernel/IpcChannelTest.cpp.o"
+  "CMakeFiles/test_vkernel.dir/vkernel/IpcChannelTest.cpp.o.d"
+  "CMakeFiles/test_vkernel.dir/vkernel/SpinLockTest.cpp.o"
+  "CMakeFiles/test_vkernel.dir/vkernel/SpinLockTest.cpp.o.d"
+  "CMakeFiles/test_vkernel.dir/vkernel/VKernelTest.cpp.o"
+  "CMakeFiles/test_vkernel.dir/vkernel/VKernelTest.cpp.o.d"
+  "test_vkernel"
+  "test_vkernel.pdb"
+  "test_vkernel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vkernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/vm/CompilerRobustnessTest.cpp" "tests/CMakeFiles/test_vm.dir/vm/CompilerRobustnessTest.cpp.o" "gcc" "tests/CMakeFiles/test_vm.dir/vm/CompilerRobustnessTest.cpp.o.d"
+  "/root/repo/tests/vm/CompilerTest.cpp" "tests/CMakeFiles/test_vm.dir/vm/CompilerTest.cpp.o" "gcc" "tests/CMakeFiles/test_vm.dir/vm/CompilerTest.cpp.o.d"
+  "/root/repo/tests/vm/DecompilerTest.cpp" "tests/CMakeFiles/test_vm.dir/vm/DecompilerTest.cpp.o" "gcc" "tests/CMakeFiles/test_vm.dir/vm/DecompilerTest.cpp.o.d"
+  "/root/repo/tests/vm/EdgeCaseTest.cpp" "tests/CMakeFiles/test_vm.dir/vm/EdgeCaseTest.cpp.o" "gcc" "tests/CMakeFiles/test_vm.dir/vm/EdgeCaseTest.cpp.o.d"
+  "/root/repo/tests/vm/FreeContextTest.cpp" "tests/CMakeFiles/test_vm.dir/vm/FreeContextTest.cpp.o" "gcc" "tests/CMakeFiles/test_vm.dir/vm/FreeContextTest.cpp.o.d"
+  "/root/repo/tests/vm/InterpreterTest.cpp" "tests/CMakeFiles/test_vm.dir/vm/InterpreterTest.cpp.o" "gcc" "tests/CMakeFiles/test_vm.dir/vm/InterpreterTest.cpp.o.d"
+  "/root/repo/tests/vm/LexerTest.cpp" "tests/CMakeFiles/test_vm.dir/vm/LexerTest.cpp.o" "gcc" "tests/CMakeFiles/test_vm.dir/vm/LexerTest.cpp.o.d"
+  "/root/repo/tests/vm/MethodCacheTest.cpp" "tests/CMakeFiles/test_vm.dir/vm/MethodCacheTest.cpp.o" "gcc" "tests/CMakeFiles/test_vm.dir/vm/MethodCacheTest.cpp.o.d"
+  "/root/repo/tests/vm/ObjectModelTest.cpp" "tests/CMakeFiles/test_vm.dir/vm/ObjectModelTest.cpp.o" "gcc" "tests/CMakeFiles/test_vm.dir/vm/ObjectModelTest.cpp.o.d"
+  "/root/repo/tests/vm/ParserTest.cpp" "tests/CMakeFiles/test_vm.dir/vm/ParserTest.cpp.o" "gcc" "tests/CMakeFiles/test_vm.dir/vm/ParserTest.cpp.o.d"
+  "/root/repo/tests/vm/SchedulerTest.cpp" "tests/CMakeFiles/test_vm.dir/vm/SchedulerTest.cpp.o" "gcc" "tests/CMakeFiles/test_vm.dir/vm/SchedulerTest.cpp.o.d"
+  "/root/repo/tests/vm/VirtualMachineTest.cpp" "tests/CMakeFiles/test_vm.dir/vm/VirtualMachineTest.cpp.o" "gcc" "tests/CMakeFiles/test_vm.dir/vm/VirtualMachineTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/image/CMakeFiles/mst_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/mst_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/objmem/CMakeFiles/mst_objmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/vkernel/CMakeFiles/mst_vkernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mst_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vm.dir/vm/CompilerRobustnessTest.cpp.o"
+  "CMakeFiles/test_vm.dir/vm/CompilerRobustnessTest.cpp.o.d"
+  "CMakeFiles/test_vm.dir/vm/CompilerTest.cpp.o"
+  "CMakeFiles/test_vm.dir/vm/CompilerTest.cpp.o.d"
+  "CMakeFiles/test_vm.dir/vm/DecompilerTest.cpp.o"
+  "CMakeFiles/test_vm.dir/vm/DecompilerTest.cpp.o.d"
+  "CMakeFiles/test_vm.dir/vm/EdgeCaseTest.cpp.o"
+  "CMakeFiles/test_vm.dir/vm/EdgeCaseTest.cpp.o.d"
+  "CMakeFiles/test_vm.dir/vm/FreeContextTest.cpp.o"
+  "CMakeFiles/test_vm.dir/vm/FreeContextTest.cpp.o.d"
+  "CMakeFiles/test_vm.dir/vm/InterpreterTest.cpp.o"
+  "CMakeFiles/test_vm.dir/vm/InterpreterTest.cpp.o.d"
+  "CMakeFiles/test_vm.dir/vm/LexerTest.cpp.o"
+  "CMakeFiles/test_vm.dir/vm/LexerTest.cpp.o.d"
+  "CMakeFiles/test_vm.dir/vm/MethodCacheTest.cpp.o"
+  "CMakeFiles/test_vm.dir/vm/MethodCacheTest.cpp.o.d"
+  "CMakeFiles/test_vm.dir/vm/ObjectModelTest.cpp.o"
+  "CMakeFiles/test_vm.dir/vm/ObjectModelTest.cpp.o.d"
+  "CMakeFiles/test_vm.dir/vm/ParserTest.cpp.o"
+  "CMakeFiles/test_vm.dir/vm/ParserTest.cpp.o.d"
+  "CMakeFiles/test_vm.dir/vm/SchedulerTest.cpp.o"
+  "CMakeFiles/test_vm.dir/vm/SchedulerTest.cpp.o.d"
+  "CMakeFiles/test_vm.dir/vm/VirtualMachineTest.cpp.o"
+  "CMakeFiles/test_vm.dir/vm/VirtualMachineTest.cpp.o.d"
+  "test_vm"
+  "test_vm.pdb"
+  "test_vm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
