@@ -15,12 +15,16 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "image/Bootstrap.h"
 #include "image/MacroBenchmarks.h"
+#include "obs/Telemetry.h"
+#include "obs/TraceBuffer.h"
 #include "support/Format.h"
 #include "support/Stats.h"
 #include "vm/VirtualMachine.h"
@@ -77,11 +81,74 @@ inline VmConfig configFor(SystemState S) {
   return VmConfig::multiprocessor(msInterpreters());
 }
 
+/// Telemetry/trace flags shared by the benchmark mains.
+struct BenchFlags {
+  bool TelemetryReport = false; ///< --telemetry: print counter summary
+  std::string TraceOut;         ///< --trace-out=PATH: Chrome trace JSON
+  std::string JsonOut;          ///< --json-out=PATH: machine-readable results
+};
+
+/// Parses --telemetry / --trace-out= / --json-out= and enables tracing when
+/// a trace path was given. Unknown arguments abort with a usage message.
+inline BenchFlags parseBenchFlags(int Argc, char **Argv) {
+  BenchFlags F;
+  for (int I = 1; I < Argc; ++I) {
+    const char *A = Argv[I];
+    if (std::strcmp(A, "--telemetry") == 0) {
+      F.TelemetryReport = true;
+    } else if (std::strncmp(A, "--trace-out=", 12) == 0) {
+      F.TraceOut = A + 12;
+    } else if (std::strncmp(A, "--json-out=", 11) == 0) {
+      F.JsonOut = A + 11;
+    } else {
+      std::fprintf(stderr,
+                   "unknown argument '%s'\nusage: %s [--telemetry] "
+                   "[--trace-out=PATH] [--json-out=PATH]\n",
+                   A, Argv[0]);
+      std::exit(2);
+    }
+  }
+  if (!F.TraceOut.empty())
+    Telemetry::setTracingEnabled(true);
+  return F;
+}
+
+/// Prints the aggregate counters and pause percentiles to stdout.
+inline void printTelemetrySummary(const Telemetry::Snapshot &S) {
+  std::printf("--- telemetry ---\n");
+  for (const auto &[Name, V] : S.Counters)
+    std::printf("  %-32s %llu\n", Name.c_str(),
+                static_cast<unsigned long long>(V));
+  for (const auto &H : S.Histograms)
+    std::printf("  %-32s n=%llu p50=%.1fus p95=%.1fus p99=%.1fus "
+                "max=%.1fus\n",
+                H.Name.c_str(), static_cast<unsigned long long>(H.Count),
+                H.P50 / 1e3, H.P95 / 1e3, H.P99 / 1e3, H.Max / 1e3);
+}
+
+/// Finalizes the tracing/telemetry flags after the measured runs: writes
+/// the Chrome trace and/or prints the counter summary.
+inline void finishBenchFlags(const BenchFlags &F,
+                             const Telemetry::Snapshot &S) {
+  if (F.TelemetryReport)
+    printTelemetrySummary(S);
+  if (!F.TraceOut.empty()) {
+    if (writeChromeTrace(F.TraceOut))
+      std::printf("trace written to %s (open in https://ui.perfetto.dev)\n",
+                  F.TraceOut.c_str());
+    else
+      std::fprintf(stderr, "failed to write trace to %s\n",
+                   F.TraceOut.c_str());
+  }
+}
+
 /// Runs all eight macro benchmarks in system state \p S.
 /// \returns one TimedRun per benchmark (Table 2 column order), keeping
-/// the minimum-CPU repetition.
-inline std::vector<TimedRun> runMacroSuite(SystemState S, double Scale,
-                                           unsigned Repeats = 1) {
+/// the minimum-CPU repetition. When \p SnapOut is non-null it receives a
+/// registry snapshot taken before the VM (and its counters) is destroyed.
+inline std::vector<TimedRun> runMacroSuite(
+    SystemState S, double Scale, unsigned Repeats = 1,
+    Telemetry::Snapshot *SnapOut = nullptr) {
   VirtualMachine VM(configFor(S));
   bootstrapImage(VM);
   setupMacroWorkload(VM);
@@ -125,6 +192,8 @@ inline std::vector<TimedRun> runMacroSuite(SystemState S, double Scale,
 
   if (S != SystemState::BaselineBS)
     terminateCompetitors(VM, "Competitors");
+  if (SnapOut)
+    *SnapOut = Telemetry::snapshot();
   VM.shutdown();
   return Times;
 }
@@ -133,6 +202,41 @@ inline std::vector<TimedRun> runMacroSuite(SystemState S, double Scale,
 inline std::vector<std::string> macroShortNames() {
   return {"org r/w", "print def", "hierarchy", "calls",
           "implementors", "inspector", "compile", "decompile"};
+}
+
+/// Writes one versioned machine-readable result file: per-state wall/CPU
+/// seconds for every macro benchmark plus that state's telemetry snapshot
+/// (lock contention, cache hit rates, scavenge pause percentiles).
+/// \returns false on I/O failure.
+inline bool writeBenchJson(const std::string &Path,
+                           const std::string &BenchName, double Scale,
+                           const std::vector<SystemState> &States,
+                           const std::vector<std::vector<TimedRun>> &All,
+                           const std::vector<Telemetry::Snapshot> &Snaps) {
+  std::ofstream Os(Path, std::ios::binary | std::ios::trunc);
+  if (!Os)
+    return false;
+  Os << "{\"bench\":\"" << BenchName << "\",\"scale\":" << Scale
+     << ",\"interpreters\":" << msInterpreters() << ",\"states\":[";
+  const auto Names = macroShortNames();
+  for (size_t SI = 0; SI < States.size(); ++SI) {
+    if (SI)
+      Os << ',';
+    Os << "{\"name\":\"" << stateName(States[SI]) << "\",\"results\":[";
+    for (size_t B = 0; B < All[SI].size(); ++B) {
+      const TimedRun &R = All[SI][B];
+      if (B)
+        Os << ',';
+      Os << "{\"bench\":\"" << (B < Names.size() ? Names[B] : "?")
+         << "\",\"ok\":" << (R.Ok ? "true" : "false")
+         << ",\"cpu_sec\":" << R.CpuSec << ",\"wall_sec\":" << R.WallSec
+         << "}";
+    }
+    Os << "],\"telemetry\":"
+       << (SI < Snaps.size() ? Telemetry::toJson(Snaps[SI]) : "{}") << "}";
+  }
+  Os << "]}";
+  return static_cast<bool>(Os);
 }
 
 } // namespace mst

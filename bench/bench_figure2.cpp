@@ -20,20 +20,22 @@
 
 using namespace mst;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchFlags Flags = parseBenchFlags(argc, argv);
   double Scale = benchScale(3.0);
 
   std::printf("Figure 2: Preliminary overhead measurements - normalized\n");
   std::printf("workload scale %.1f, %u interpreters for MS states\n\n",
               Scale, msInterpreters());
 
-  const SystemState States[] = {
+  const std::vector<SystemState> States = {
       SystemState::BaselineBS, SystemState::Ms, SystemState::MsFourIdle,
       SystemState::MsFourBusy};
 
   std::vector<std::vector<TimedRun>> All;
-  for (SystemState S : States)
-    All.push_back(runMacroSuite(S, Scale, 2));
+  std::vector<Telemetry::Snapshot> Snaps(States.size());
+  for (size_t SI = 0; SI < States.size(); ++SI)
+    All.push_back(runMacroSuite(States[SI], Scale, 2, &Snaps[SI]));
 
   const auto Names = macroShortNames();
   auto Cpu = [&](size_t SI, size_t B) {
@@ -57,5 +59,10 @@ int main() {
   }
   std::printf("Processor time normalized to the baseline BS time for "
               "each benchmark (1.00).\n");
+
+  if (!Flags.JsonOut.empty() &&
+      !writeBenchJson(Flags.JsonOut, "figure2", Scale, States, All, Snaps))
+    std::fprintf(stderr, "failed to write %s\n", Flags.JsonOut.c_str());
+  finishBenchFlags(Flags, Snaps.back());
   return 0;
 }

@@ -31,7 +31,8 @@
 
 using namespace mst;
 
-int main() {
+int main(int argc, char **argv) {
+  BenchFlags Flags = parseBenchFlags(argc, argv);
   double Scale = benchScale(3.0);
   unsigned Repeats = 3;
 
@@ -41,13 +42,14 @@ int main() {
               Scale, msInterpreters(),
               std::thread::hardware_concurrency(), Repeats);
 
-  const SystemState States[] = {
+  const std::vector<SystemState> States = {
       SystemState::BaselineBS, SystemState::Ms, SystemState::MsFourIdle,
       SystemState::MsFourBusy};
 
   std::vector<std::vector<TimedRun>> All;
-  for (SystemState S : States)
-    All.push_back(runMacroSuite(S, Scale, Repeats));
+  std::vector<Telemetry::Snapshot> Snaps(States.size());
+  for (size_t SI = 0; SI < States.size(); ++SI)
+    All.push_back(runMacroSuite(States[SI], Scale, Repeats, &Snaps[SI]));
 
   auto PrintTable = [&](const char *Title, auto Get) {
     std::printf("%s\n", Title);
@@ -108,7 +110,13 @@ int main() {
     runMacroBenchmark(VM, macroBenchmarks()[0], Scale / 4, 600.0);
     terminateCompetitors(VM, "Competitors");
     std::printf("\n%s", VM.statisticsReport().c_str());
+    std::printf("\n%s", VM.telemetryReport().c_str());
     VM.shutdown();
   }
+
+  if (!Flags.JsonOut.empty() &&
+      !writeBenchJson(Flags.JsonOut, "table2", Scale, States, All, Snaps))
+    std::fprintf(stderr, "failed to write %s\n", Flags.JsonOut.c_str());
+  finishBenchFlags(Flags, Snaps.back());
   return 0;
 }

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Runs the Table 2 / Figure 2 macro benchmark suites and emits versioned
+# machine-readable results (BENCH_<name>_<git-rev>.json), each including
+# the telemetry snapshot (lock contention, cache hit rates, scavenge pause
+# percentiles) for every system state.
+#
+# Usage: bench/run_benches.sh [build-dir] [out-dir]
+#   build-dir  where the bench binaries live (default: build)
+#   out-dir    where to put the JSON files   (default: bench/results)
+# Environment: MST_BENCH_SCALE scales the workload (default per binary).
+
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-bench/results}"
+REV="$(git rev-parse --short HEAD 2>/dev/null || echo nogit)"
+STAMP="$(date +%Y%m%d-%H%M%S)"
+
+mkdir -p "$OUT_DIR"
+
+for NAME in table2 figure2; do
+  BIN="$BUILD_DIR/bench/bench_$NAME"
+  if [ ! -x "$BIN" ]; then
+    echo "missing $BIN — build first (cmake --build $BUILD_DIR -j)" >&2
+    exit 1
+  fi
+  OUT="$OUT_DIR/BENCH_${NAME}_${REV}_${STAMP}.json"
+  echo "=== bench_$NAME -> $OUT ==="
+  "$BIN" --json-out="$OUT"
+done
+
+echo "done. results in $OUT_DIR/"

@@ -24,15 +24,33 @@
 //===----------------------------------------------------------------------===//
 
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 #include <string>
 
 #include "image/Bootstrap.h"
+#include "obs/TraceBuffer.h"
 #include "vm/VirtualMachine.h"
 
 using namespace mst;
 
-int main() {
+int main(int argc, char **argv) {
+  bool TelemetryReport = false;
+  std::string TraceOut;
+  for (int I = 1; I < argc; ++I) {
+    const char *A = argv[I];
+    if (std::strcmp(A, "--telemetry") == 0) {
+      TelemetryReport = true;
+    } else if (std::strncmp(A, "--trace-out=", 12) == 0) {
+      TraceOut = A + 12;
+      Telemetry::setTracingEnabled(true);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--telemetry] [--trace-out=PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
   VirtualMachine VM(VmConfig::multiprocessor(1));
   bootstrapImage(VM);
   std::printf("Multiprocessor Smalltalk listener — empty line or EOF "
@@ -60,6 +78,16 @@ int main() {
       std::printf("%s\n", ObjectModel::stringValue(R).c_str());
     else
       std::printf("%s\n", VM.model().describe(R).c_str());
+  }
+  if (TelemetryReport)
+    std::printf("\n%s", VM.telemetryReport().c_str());
+  if (!TraceOut.empty()) {
+    if (writeChromeTrace(TraceOut))
+      std::printf("trace written to %s (open in https://ui.perfetto.dev)\n",
+                  TraceOut.c_str());
+    else
+      std::fprintf(stderr, "failed to write trace to %s\n",
+                   TraceOut.c_str());
   }
   std::printf("\nbye\n");
   return 0;

@@ -34,7 +34,7 @@ public:
   /// \param LocksEnabled false for the baseline-BS (no-MP) build.
   /// \param RingCapacity how many recent commands the "screen" retains.
   explicit Display(bool LocksEnabled, size_t RingCapacity = 64)
-      : Lock(LocksEnabled), Ring(RingCapacity) {}
+      : Lock(LocksEnabled, "display"), Ring(RingCapacity) {}
 
   /// Enqueues a display command (e.g. "show: 'some text'").
   void submit(const std::string &Command) {

@@ -38,7 +38,7 @@ struct InputEvent {
 class EventQueue {
 public:
   /// \param LocksEnabled false for the baseline-BS (no-MP) build.
-  explicit EventQueue(bool LocksEnabled) : Lock(LocksEnabled) {}
+  explicit EventQueue(bool LocksEnabled) : Lock(LocksEnabled, "events") {}
 
   /// Enqueues an event (producer side: the "interpreter" device layer or a
   /// test driver).

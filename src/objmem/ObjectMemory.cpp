@@ -9,6 +9,7 @@
 #include <cstring>
 
 #include "objmem/Scavenger.h"
+#include "obs/TraceBuffer.h"
 #include "support/Assert.h"
 #include "support/Timer.h"
 
@@ -25,7 +26,7 @@ thread_local MutatorContext *CurrentMutator = nullptr;
 ObjectMemory::ObjectMemory(const MemoryConfig &Config)
     : Config(Config), RemSet(Config.MpSupport),
       Old(Config.OldChunkBytes, Config.MpSupport),
-      AllocLock(Config.MpSupport) {
+      AllocLock(Config.MpSupport, "alloc") {
   Eden.init(Config.EdenBytes);
   Survivors[0].init(Config.SurvivorBytes);
   Survivors[1].init(Config.SurvivorBytes);
@@ -37,6 +38,8 @@ MutatorContext *ObjectMemory::registerMutator(const std::string &Name) {
   assert(CurrentMutator == nullptr && "thread already registered");
   auto M = std::make_unique<MutatorContext>();
   M->Name = Name;
+  if (!Name.empty())
+    setTraceThreadName(Name);
   std::lock_guard<std::mutex> Guard(MutatorsMutex);
   M->Id = static_cast<unsigned>(Mutators.size());
   CurrentMutator = M.get();
@@ -206,6 +209,8 @@ void ObjectMemory::scavengeNow() {
 }
 
 void ObjectMemory::performScavenge() {
+  TraceSpan Span("scavenge", "gc");
+  uint64_t StartNs = Telemetry::nowNs();
   Stopwatch Watch;
   uint64_t EdenUsedNow = Eden.used();
 
@@ -226,6 +231,11 @@ void ObjectMemory::performScavenge() {
   Scav.run();
 
   double Pause = Watch.seconds();
+  PauseHist.record(Telemetry::nowNs() - StartNs);
+  ScavengesCtr.add();
+  BytesCopiedCtr.add(Scav.bytesCopied());
+  BytesTenuredCtr.add(Scav.bytesTenured());
+  Span.setArg(Scav.bytesCopied());
   std::lock_guard<std::mutex> Guard(StatsMutex);
   ++Stats.Scavenges;
   Stats.LastPauseSec = Pause;

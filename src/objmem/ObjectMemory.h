@@ -32,6 +32,9 @@
 #include <string>
 #include <vector>
 
+#include "obs/Histogram.h"
+#include "obs/Telemetry.h"
+
 #include "objmem/Handles.h"
 #include "objmem/MemoryConfig.h"
 #include "objmem/ObjectHeader.h"
@@ -220,6 +223,9 @@ public:
   /// \returns instrumentation handle on the allocation lock.
   SpinLock &allocationLock() { return AllocLock; }
 
+  /// \returns the distribution of stop-the-world scavenge pauses (ns).
+  const Histogram &pauseHistogram() const { return PauseHist; }
+
 private:
   friend class Scavenger;
 
@@ -263,6 +269,16 @@ private:
 
   std::mutex StatsMutex;
   ScavengeStats Stats;
+
+  /// Registry-visible GC telemetry (the StatsMutex-guarded ScavengeStats
+  /// above remains the precise per-VM record; these feed the process-wide
+  /// report and the bench JSON).
+  Histogram PauseHist{"gc.scavenge.pause"};
+  Counter ScavengesCtr{"gc.scavenges"};
+  Counter BytesCopiedCtr{"gc.bytes.copied"};
+  Counter BytesTenuredCtr{"gc.bytes.tenured"};
+  Gauge EdenUsedGauge{"mem.eden.used", [this] { return edenUsed(); }};
+  Gauge OldUsedGauge{"mem.old.used", [this] { return oldSpaceUsed(); }};
 };
 
 } // namespace mst

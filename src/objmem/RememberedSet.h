@@ -30,7 +30,7 @@ namespace mst {
 class RememberedSet {
 public:
   /// \param LocksEnabled false for the baseline-BS (no-MP) build.
-  explicit RememberedSet(bool LocksEnabled) : Lock(LocksEnabled) {}
+  explicit RememberedSet(bool LocksEnabled) : Lock(LocksEnabled, "remset") {}
 
   /// Records \p Old in the entry table if it is not already recorded. The
   /// remembered-flag test runs under the array's lock; callers may (and the

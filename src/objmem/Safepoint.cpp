@@ -6,6 +6,7 @@
 
 #include "objmem/Safepoint.h"
 
+#include "obs/TraceBuffer.h"
 #include "support/Assert.h"
 
 using namespace mst;
@@ -57,6 +58,8 @@ bool Safepoint::requestStopTheWorld() {
     --SafeMutators;
     return false;
   }
+  TraceSpan Rendezvous("safepoint.rendezvous", "gc");
+  uint64_t StartNs = Telemetry::nowNs();
   Pending = true;
   GlobalFlag.store(true, std::memory_order_seq_cst);
   // Count ourselves safe while waiting so other requesters' math works.
@@ -66,6 +69,7 @@ bool Safepoint::requestStopTheWorld() {
   --SafeMutators;
   Pending = false;
   InProgress = true;
+  RendezvousHist.record(Telemetry::nowNs() - StartNs);
   return true;
 }
 

@@ -34,6 +34,8 @@
 #include <cstdint>
 #include <mutex>
 
+#include "obs/Histogram.h"
+
 namespace mst {
 
 /// Coordinates stop-the-world pauses between mutator threads.
@@ -86,6 +88,12 @@ public:
     return Pauses.load(std::memory_order_relaxed);
   }
 
+  /// \returns the distribution of rendezvous latencies (ns): the time from
+  /// raising the global flag until every mutator reported safe. This is
+  /// the part of the pause the paper's global-flag protocol adds on top of
+  /// the scavenge work itself.
+  const Histogram &rendezvousHistogram() const { return RendezvousHist; }
+
 private:
   std::mutex Mutex;
   std::condition_variable Cv;
@@ -95,6 +103,7 @@ private:
   unsigned Mutators = 0;
   unsigned SafeMutators = 0;
   std::atomic<uint64_t> Pauses{0};
+  Histogram RendezvousHist{"gc.safepoint.rendezvous"};
 };
 
 /// RAII bracket for a blocked region.

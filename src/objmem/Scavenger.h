@@ -83,11 +83,11 @@ private:
   /// Destination survivor space for this scavenge.
   class LinearSpace *ToSpace;
 
-  SpinLock WorkLock;
+  SpinLock WorkLock{true, "scavenge.work"};
   std::vector<ObjectHeader *> ScanStack;
   std::atomic<unsigned> IdleWorkers{0};
 
-  SpinLock PromotedLock;
+  SpinLock PromotedLock{true, "scavenge.promoted"};
   std::vector<ObjectHeader *> Promoted;
 
   std::atomic<uint64_t> BytesCopied{0};

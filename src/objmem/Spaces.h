@@ -83,7 +83,7 @@ public:
   /// \param ChunkBytes size of each chunk.
   /// \param LocksEnabled false for the baseline-BS (no-MP) build.
   OldSpace(size_t ChunkBytes, bool LocksEnabled)
-      : ChunkBytes(ChunkBytes), Lock(LocksEnabled) {}
+      : ChunkBytes(ChunkBytes), Lock(LocksEnabled, "oldspace") {}
 
   /// Allocates \p Bytes from old space. Never fails short of exhausting
   /// the host's memory. \returns the block.

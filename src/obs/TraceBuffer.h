@@ -1,0 +1,125 @@
+//===-- obs/TraceBuffer.h - Per-thread trace rings & spans ------*- C++ -*-===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Event tracing: each thread that records gets its own fixed-size ring
+/// buffer (single producer, no locks on the hot path), and a merger folds
+/// every ring into one Chrome trace-event JSON document that Perfetto or
+/// chrome://tracing can open. Events are attributed to *virtual
+/// processors* — the paper's unit of parallelism — via the pid field, so
+/// the timeline shows directly how work interleaves across processors and
+/// where the scavenger stops the world.
+///
+/// The whole layer is gated on Telemetry::tracingEnabled(): when off, a
+/// TraceSpan is one relaxed load and a branch, and no buffer is ever
+/// allocated.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MST_OBS_TRACEBUFFER_H
+#define MST_OBS_TRACEBUFFER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "obs/Telemetry.h"
+#include "obs/TraceEvent.h"
+
+namespace mst {
+
+namespace obsdetail {
+/// Slow paths, only reached while tracing is enabled. Each appends to the
+/// calling thread's ring, creating it on first use.
+void recordComplete(const char *Name, const char *Cat, uint64_t StartNs,
+                    uint64_t DurNs, uint64_t Arg, bool HasArg);
+void recordInstant(const char *Name, const char *Cat, uint64_t Arg,
+                   bool HasArg);
+} // namespace obsdetail
+
+/// Names the calling thread for trace attribution. \p Processor is the
+/// virtual processor the thread runs on, or -1 for host/service threads.
+/// Cheap enough to call unconditionally at thread start; remembered even
+/// if tracing is enabled later.
+void setTraceThreadInfo(std::string Name, int Processor);
+
+/// Renames the calling thread without touching its processor attribution
+/// (mutator registration knows the name; the kernel knows the processor).
+void setTraceThreadName(std::string Name);
+
+/// Records an instant event ("i" phase) on the calling thread's timeline.
+inline void traceInstant(const char *Name, const char *Cat) {
+  if (Telemetry::tracingEnabled())
+    obsdetail::recordInstant(Name, Cat, 0, false);
+}
+inline void traceInstant(const char *Name, const char *Cat, uint64_t Arg) {
+  if (Telemetry::tracingEnabled())
+    obsdetail::recordInstant(Name, Cat, Arg, true);
+}
+
+/// RAII scope that records a complete span ("X" phase) from construction
+/// to destruction. \p Name and \p Cat must be string literals.
+class TraceSpan {
+public:
+  TraceSpan(const char *Name, const char *Cat) : Name(Name), Cat(Cat) {
+    if (Telemetry::tracingEnabled()) {
+      Active = true;
+      StartNs = Telemetry::nowNs();
+    }
+  }
+
+  ~TraceSpan() {
+    if (Active)
+      obsdetail::recordComplete(Name, Cat, StartNs,
+                                Telemetry::nowNs() - StartNs, Arg, HasArg);
+  }
+
+  TraceSpan(const TraceSpan &) = delete;
+  TraceSpan &operator=(const TraceSpan &) = delete;
+
+  /// Attaches a numeric argument (bytes copied, message id, ...) shown in
+  /// the trace viewer's detail pane.
+  void setArg(uint64_t A) {
+    Arg = A;
+    HasArg = true;
+  }
+
+  bool active() const { return Active; }
+
+private:
+  const char *Name;
+  const char *Cat;
+  uint64_t StartNs = 0;
+  uint64_t Arg = 0;
+  bool Active = false;
+  bool HasArg = false;
+};
+
+/// \returns the merged trace as a Chrome trace-event JSON document.
+std::string chromeTraceJson();
+
+/// Writes chromeTraceJson() to \p Path. \returns false on I/O failure.
+bool writeChromeTrace(const std::string &Path);
+
+/// Discards all recorded events (ring indices reset; buffers stay
+/// allocated so concurrent recorders keep valid pointers).
+void clearTrace();
+
+/// \returns how many complete spans named \p Name are currently recorded
+/// across all rings (test support).
+size_t countTraceSpans(const char *Name);
+
+/// \returns the total number of events currently held across all rings.
+size_t traceEventCount();
+
+/// Ring capacity per thread, in events (power of two). When a ring wraps,
+/// the oldest events are overwritten — tracing keeps the most recent
+/// window, it never blocks or allocates on overflow.
+inline constexpr size_t TraceRingCapacity = 8192;
+
+} // namespace mst
+
+#endif // MST_OBS_TRACEBUFFER_H

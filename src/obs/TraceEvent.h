@@ -1,0 +1,36 @@
+//===-- obs/TraceEvent.h - One recorded trace event -------------*- C++ -*-===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef MST_OBS_TRACEEVENT_H
+#define MST_OBS_TRACEEVENT_H
+
+#include <cstdint>
+
+namespace mst {
+
+/// The Chrome trace-event phases we emit: "X" (a complete span with start
+/// and duration) and "i" (an instant marker).
+enum class TracePhase : uint8_t {
+  Complete,
+  Instant,
+};
+
+/// One event slot in a per-thread ring buffer. Name and category must be
+/// string literals (or otherwise immortal): events outlive the scopes that
+/// record them and are only stringified at export time.
+struct TraceEvent {
+  const char *Name = nullptr;
+  const char *Cat = nullptr;
+  uint64_t StartNs = 0;
+  uint64_t DurNs = 0;
+  uint64_t Arg = 0;
+  TracePhase Phase = TracePhase::Complete;
+  bool HasArg = false;
+};
+
+} // namespace mst
+
+#endif // MST_OBS_TRACEEVENT_H

@@ -11,6 +11,8 @@
 using namespace mst;
 
 void RunningStats::add(double X) {
+  double Scaled = X < 0.0 ? 0.0 : X * 1e6;
+  Hist.record(static_cast<uint64_t>(Scaled + 0.5));
   ++N;
   Total += X;
   if (N == 1) {
@@ -31,4 +33,10 @@ double RunningStats::stddev() const {
   if (N < 2)
     return 0.0;
   return std::sqrt(M2 / static_cast<double>(N - 1));
+}
+
+double RunningStats::percentile(double P) const {
+  if (!N)
+    return 0.0;
+  return static_cast<double>(Hist.percentile(P)) / 1e6;
 }

@@ -16,10 +16,14 @@
 
 #include <cstdint>
 
+#include "obs/Histogram.h"
+
 namespace mst {
 
 /// Accumulates samples and reports summary statistics without storing the
-/// individual values.
+/// individual values. Besides the Welford moments it feeds a log-linear
+/// histogram, so quantiles (p50/p95/p99) are available with bounded (~6%)
+/// relative error — still O(1) memory.
 class RunningStats {
 public:
   /// Adds one sample.
@@ -44,6 +48,16 @@ public:
   /// fewer than two samples.
   double stddev() const;
 
+  /// \returns the approximate quantile \p P in [0,100] in the samples'
+  /// unit. Backed by a fixed-point histogram (samples scaled by 1e6), so
+  /// the relative error is bounded by the histogram's sub-bucket width;
+  /// negative samples clamp to 0.
+  double percentile(double P) const;
+
+  double p50() const { return percentile(50.0); }
+  double p95() const { return percentile(95.0); }
+  double p99() const { return percentile(99.0); }
+
 private:
   uint64_t N = 0;
   double Mean = 0.0;
@@ -51,6 +65,8 @@ private:
   double Min = 0.0;
   double Max = 0.0;
   double Total = 0.0;
+  /// Unnamed (unregistered) histogram over round(sample * 1e6).
+  Histogram Hist;
 };
 
 } // namespace mst

@@ -6,11 +6,16 @@
 
 #include "vkernel/IpcChannel.h"
 
+#include "obs/TraceBuffer.h"
 #include "support/Assert.h"
 
 using namespace mst;
 
 uint64_t IpcChannel::send(uint64_t Request) {
+  // The span covers the full synchronous round trip: enqueue, the
+  // receiver's service time, and the reply wakeup.
+  TraceSpan Span("ipc.send", "ipc");
+  Span.setArg(Request);
   Message Msg;
   Msg.Request = Request;
   std::unique_lock<std::mutex> Lock(Mutex);
@@ -21,12 +26,14 @@ uint64_t IpcChannel::send(uint64_t Request) {
 }
 
 IpcChannel::MessageHandle IpcChannel::receive(uint64_t &Request) {
+  TraceSpan Span("ipc.receive", "ipc");
   std::unique_lock<std::mutex> Lock(Mutex);
   Arrived.wait(Lock, [this] { return !Queue.empty(); });
   Message *Msg = Queue.front();
   Queue.pop_front();
   ++AwaitingReply;
   Request = Msg->Request;
+  Span.setArg(Request);
   return Msg;
 }
 
@@ -44,6 +51,7 @@ IpcChannel::MessageHandle IpcChannel::tryReceive(uint64_t &Request) {
 void IpcChannel::reply(MessageHandle Handle, uint64_t Response) {
   assert(Handle && "reply() needs a handle from receive()");
   auto *Msg = static_cast<Message *>(Handle);
+  traceInstant("ipc.reply", "ipc", Response);
   std::unique_lock<std::mutex> Lock(Mutex);
   assert(AwaitingReply > 0 && "reply() without matching receive()");
   --AwaitingReply;

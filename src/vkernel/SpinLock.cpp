@@ -5,17 +5,36 @@
 //===----------------------------------------------------------------------===//
 
 #include "vkernel/SpinLock.h"
+
+#include "obs/TraceBuffer.h"
 #include "vkernel/Delay.h"
 
 using namespace mst;
 
+namespace {
+std::string lockCounterName(const char *Name, const char *Suffix) {
+  if (!Name)
+    return {};
+  return std::string("lock.") + Name + "." + Suffix;
+}
+} // namespace
+
+SpinLock::SpinLock(bool Enabled, const char *Name)
+    : Enabled(Enabled), TraceName(Name),
+      Acquisitions(lockCounterName(Name, "acquisitions")),
+      Contended(lockCounterName(Name, "contended")),
+      Delays(lockCounterName(Name, "delays")) {}
+
 void SpinLock::lock() {
   if (!Enabled)
     return;
-  Acquisitions.fetch_add(1, std::memory_order_relaxed);
+  Acquisitions.add();
   if (Flag.exchange(1, std::memory_order_acquire) == 0)
     return;
-  Contended.fetch_add(1, std::memory_order_relaxed);
+  Contended.add();
+  // The wait shows up on the timeline: a span named after the lock, in the
+  // "lock" category, covering the whole contended acquisition.
+  TraceSpan Wait(TraceName ? TraceName : "lock.wait", "lock");
   // Spin with plain loads (no bus-locking exchange) for a short while, then
   // fall back to the kernel Delay with a minimal timeout, as MS does.
   unsigned Spins = 0;
@@ -23,7 +42,7 @@ void SpinLock::lock() {
     while (Flag.load(std::memory_order_relaxed) != 0) {
       if (++Spins >= 256) {
         Spins = 0;
-        Delays.fetch_add(1, std::memory_order_relaxed);
+        Delays.add();
         vkDelay(/*Micros=*/0);
       }
     }

@@ -13,7 +13,9 @@
 ///
 /// The lock can be *disabled* to model the "baseline BS" interpreter — the
 /// uniprocessor build with no multiprocessor support. Table 2's state-1 vs
-/// state-2 comparison measures exactly the cost of turning these on.
+/// state-2 comparison measures exactly the cost of turning these on. A
+/// disabled lock does no atomic work at all — not even counting — so the
+/// baseline configuration pays nothing for the instrumentation.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -23,17 +25,23 @@
 #include <atomic>
 #include <cstdint>
 
+#include "obs/Telemetry.h"
+
 namespace mst {
 
 /// Interlocked test-and-set spin lock with Delay backoff.
 ///
-/// Instrumented: counts acquisitions, contended acquisitions, and backoff
-/// delays, so benches can report where serialization hurts (the paper's §6
-/// instrumentation plan).
+/// Instrumented through the telemetry registry: a *named* lock registers
+/// `lock.<name>.{acquisitions,contended,delays}` counters (striped, so the
+/// counting never becomes its own serialization point) and records a
+/// contended-wait trace span when tracing is on. An unnamed lock still
+/// counts locally but stays out of the registry.
 class SpinLock {
 public:
   /// \param Enabled when false, lock/unlock are no-ops. Models baseline BS.
-  explicit SpinLock(bool Enabled = true) : Enabled(Enabled) {}
+  /// \param Name registry/trace name; must be a string literal (or
+  ///        otherwise immortal). nullptr = unnamed.
+  explicit SpinLock(bool Enabled = true, const char *Name = nullptr);
 
   SpinLock(const SpinLock &) = delete;
   SpinLock &operator=(const SpinLock &) = delete;
@@ -49,14 +57,14 @@ public:
   }
 
   /// Attempts to acquire without blocking. \returns true on success.
-  /// Always succeeds when the lock is disabled.
+  /// Always succeeds — and counts nothing — when the lock is disabled.
   bool tryLock() {
     if (!Enabled)
       return true;
     bool Ok = Flag.exchange(1, std::memory_order_acquire) == 0;
-    Acquisitions.fetch_add(1, std::memory_order_relaxed);
+    Acquisitions.add();
     if (!Ok)
-      Contended.fetch_add(1, std::memory_order_relaxed);
+      Contended.add();
     return Ok;
   }
 
@@ -66,32 +74,32 @@ public:
   /// \returns true when lock()/unlock() actually synchronize.
   bool isEnabled() const { return Enabled; }
 
+  /// \returns the lock's trace name, or nullptr when unnamed.
+  const char *name() const { return TraceName; }
+
   /// \returns total lock() and tryLock() calls.
-  uint64_t acquisitions() const {
-    return Acquisitions.load(std::memory_order_relaxed);
-  }
+  uint64_t acquisitions() const { return Acquisitions.value(); }
 
   /// \returns acquisitions that found the lock already held.
-  uint64_t contendedAcquisitions() const {
-    return Contended.load(std::memory_order_relaxed);
-  }
+  uint64_t contendedAcquisitions() const { return Contended.value(); }
 
   /// \returns how many times an acquirer fell back to a kernel Delay.
-  uint64_t delays() const { return Delays.load(std::memory_order_relaxed); }
+  uint64_t delays() const { return Delays.value(); }
 
   /// Resets the instrumentation counters.
   void resetCounters() {
-    Acquisitions.store(0, std::memory_order_relaxed);
-    Contended.store(0, std::memory_order_relaxed);
-    Delays.store(0, std::memory_order_relaxed);
+    Acquisitions.reset();
+    Contended.reset();
+    Delays.reset();
   }
 
 private:
   std::atomic<uint8_t> Flag{0};
   bool Enabled;
-  std::atomic<uint64_t> Acquisitions{0};
-  std::atomic<uint64_t> Contended{0};
-  std::atomic<uint64_t> Delays{0};
+  const char *TraceName;
+  Counter Acquisitions;
+  Counter Contended;
+  Counter Delays;
 };
 
 /// RAII guard for SpinLock.

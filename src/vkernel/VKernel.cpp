@@ -6,6 +6,7 @@
 
 #include "vkernel/VKernel.h"
 
+#include "obs/TraceBuffer.h"
 #include "support/Assert.h"
 
 using namespace mst;
@@ -23,7 +24,13 @@ VProcess *VKernel::createProcess(const std::string &Name,
   unsigned Processor = NextProcessor;
   NextProcessor = (NextProcessor + 1) % NumProcessors;
   auto Proc = std::unique_ptr<VProcess>(new VProcess(Name, Id, Processor));
-  Proc->Thread = std::thread(std::move(Main));
+  // Attribute the thread's trace events to its virtual processor before any
+  // of its spans are recorded.
+  Proc->Thread = std::thread(
+      [Name, Processor, Body = std::move(Main)]() mutable {
+        setTraceThreadInfo(Name, static_cast<int>(Processor));
+        Body();
+      });
   Processes.push_back(std::move(Proc));
   return Processes.back().get();
 }

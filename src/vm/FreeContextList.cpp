@@ -31,7 +31,7 @@ Oop FreeContextPool::take(unsigned InterpId, uint32_t Slots) {
     return Oop();
   Oop Ctx = List.back();
   List.pop_back();
-  Reuses.fetch_add(1, std::memory_order_relaxed);
+  Reuses.add();
   return Ctx;
 }
 
@@ -48,7 +48,7 @@ void FreeContextPool::give(unsigned InterpId, Oop Ctx) {
       H->SlotCount <= SmallContextSlots ? B.Small : B.Large;
   SpinLockGuard Guard(B.Lock);
   List.push_back(Ctx);
-  Returns.fetch_add(1, std::memory_order_relaxed);
+  Returns.add();
 }
 
 void FreeContextPool::flushAll() {

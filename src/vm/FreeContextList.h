@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "objmem/Oop.h"
+#include "obs/Telemetry.h"
 #include "vkernel/SpinLock.h"
 
 namespace mst {
@@ -61,14 +62,12 @@ public:
   /// are dead objects and must not survive into the next GC cycle.
   void flushAll();
 
-  uint64_t reuses() const { return Reuses.load(std::memory_order_relaxed); }
-  uint64_t returns() const {
-    return Returns.load(std::memory_order_relaxed);
-  }
+  uint64_t reuses() const { return Reuses.value(); }
+  uint64_t returns() const { return Returns.value(); }
 
 private:
   struct Bins {
-    explicit Bins(bool LocksEnabled) : Lock(LocksEnabled) {}
+    explicit Bins(bool LocksEnabled) : Lock(LocksEnabled, "freectx") {}
     SpinLock Lock;
     std::vector<Oop> Small;
     std::vector<Oop> Large;
@@ -81,8 +80,8 @@ private:
 
   FreeContextKind Kind;
   std::vector<std::unique_ptr<Bins>> PerInterp; // 1 or N
-  std::atomic<uint64_t> Reuses{0};
-  std::atomic<uint64_t> Returns{0};
+  Counter Reuses{"freectx.reuses"};
+  Counter Returns{"freectx.returns"};
 };
 
 } // namespace mst

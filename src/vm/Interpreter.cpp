@@ -8,6 +8,7 @@
 
 #include <cstdlib>
 
+#include "obs/TraceBuffer.h"
 #include "support/Assert.h"
 #include "support/Timer.h"
 #include "vm/Primitives.h"
@@ -108,6 +109,7 @@ Oop Interpreter::allocateContext(uint32_t SlotsNeeded, Oop Cls) {
     }
   }
   writeBackIp();
+  TraceSpan RefillSpan("ctx.refill", "vm");
   Oop Fresh = OM.allocateContextObject(Cls, SlotAlloc);
   reloadFrame();
   return Fresh;
@@ -128,6 +130,7 @@ void Interpreter::doSend(Oop Selector, unsigned Argc, bool Super) {
 
   Oop Method, DefCls;
   if (!VM.cache().lookup(Id, StartCls, Selector, Method, DefCls)) {
+    TraceSpan MissSpan("lookup.miss", "vm");
     ObjectModel::LookupResult R = Om.lookupMethod(StartCls, Selector);
     if (R.Method.isNull()) {
       doesNotUnderstand(Selector, Argc);

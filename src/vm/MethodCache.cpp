@@ -67,20 +67,20 @@ bool MethodCache::lookup(unsigned InterpId, Oop Cls, Oop Selector,
       Method = E->Method;
       DefiningClass = E->DefiningClass;
       GlobalLock.unlockShared();
-      Stats.Hits.fetch_add(1, std::memory_order_relaxed);
+      Stats.Hits.add();
       return true;
     }
     GlobalLock.unlockShared();
-    Stats.Misses.fetch_add(1, std::memory_order_relaxed);
+    Stats.Misses.add();
     return false;
   }
   if (E) {
     Method = E->Method;
     DefiningClass = E->DefiningClass;
-    Stats.Hits.fetch_add(1, std::memory_order_relaxed);
+    Stats.Hits.add();
     return true;
   }
-  Stats.Misses.fetch_add(1, std::memory_order_relaxed);
+  Stats.Misses.add();
   return false;
 }
 

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "objmem/Oop.h"
+#include "obs/Telemetry.h"
 #include "vkernel/SpinLock.h"
 
 namespace mst {
@@ -118,10 +119,11 @@ private:
   Entry Entries[NumEntries];
 };
 
-/// Counters for the cache benches.
+/// Counters for the cache benches, registered process-wide as
+/// methodcache.hits / methodcache.misses.
 struct MethodCacheStats {
-  std::atomic<uint64_t> Hits{0};
-  std::atomic<uint64_t> Misses{0};
+  Counter Hits{"methodcache.hits"};
+  Counter Misses{"methodcache.misses"};
 };
 
 /// The cache facade used by interpreters. Holds either one shared locked
@@ -151,10 +153,8 @@ public:
   /// Flushes entries for \p Selector in every table (method install).
   void flushSelector(Oop Selector);
 
-  uint64_t hits() const { return Stats.Hits.load(std::memory_order_relaxed); }
-  uint64_t misses() const {
-    return Stats.Misses.load(std::memory_order_relaxed);
-  }
+  uint64_t hits() const { return Stats.Hits.value(); }
+  uint64_t misses() const { return Stats.Misses.value(); }
 
 private:
   MethodCacheKind Kind;

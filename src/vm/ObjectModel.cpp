@@ -14,7 +14,7 @@ using namespace mst;
 
 ObjectModel::ObjectModel(ObjectMemory &OM)
     : OM(OM), Symbols(OM.config().MpSupport),
-      DictWriteLock(OM.config().MpSupport) {}
+      DictWriteLock(OM.config().MpSupport, "dictwrite") {}
 
 bool ObjectModel::isKindOf(Oop O, Oop Cls) const {
   for (Oop C = classOf(O); C != K.NilObj && !C.isNull();

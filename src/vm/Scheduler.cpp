@@ -13,7 +13,7 @@
 using namespace mst;
 
 Scheduler::Scheduler(ObjectModel &Om, Safepoint &Sp)
-    : Om(Om), Sp(Sp), Lock(Om.memory().config().MpSupport) {}
+    : Om(Om), Sp(Sp), Lock(Om.memory().config().MpSupport, "sched") {}
 
 /// --- Smalltalk linked-list plumbing (Lock held) -------------------------
 
@@ -125,6 +125,7 @@ Oop Scheduler::pickProcessToRun() {
          P = ObjectMemory::fetchPointer(P, ProcNextLink)) {
       if (ObjectMemory::fetchPointer(P, ProcRunning).smallInt() == 0) {
         Om.memory().storePointer(P, ProcRunning, Oop::fromSmallInt(1));
+        Picks.add();
         return P;
       }
     }
@@ -133,6 +134,7 @@ Oop Scheduler::pickProcessToRun() {
 }
 
 void Scheduler::yieldProcess(Oop Proc) {
+  Yields.add();
   {
     SpinLockGuard Guard(Lock);
     Oop List = ObjectMemory::fetchPointer(Proc, ProcMyList);

@@ -37,6 +37,7 @@
 #include <string>
 
 #include "objmem/Safepoint.h"
+#include "obs/Telemetry.h"
 #include "vkernel/SpinLock.h"
 #include "vm/ObjectModel.h"
 
@@ -125,6 +126,8 @@ private:
   ObjectModel &Om;
   Safepoint &Sp;
   SpinLock Lock;
+  Counter Picks{"sched.picks"};
+  Counter Yields{"sched.yields"};
 
   std::mutex IdleMutex;
   std::condition_variable IdleCv;

@@ -33,7 +33,7 @@ class ObjectMemory;
 class SymbolTable {
 public:
   /// \param LocksEnabled false for the baseline-BS (no-MP) build.
-  explicit SymbolTable(bool LocksEnabled) : Lock(LocksEnabled) {}
+  explicit SymbolTable(bool LocksEnabled) : Lock(LocksEnabled, "symtab") {}
 
   /// Sets the class used for new symbols. Called once during bootstrap.
   void setSymbolClass(Oop Cls) { SymbolClass = Cls; }

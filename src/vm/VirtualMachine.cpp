@@ -7,7 +7,9 @@
 #include "vm/VirtualMachine.h"
 
 #include <chrono>
+#include <fstream>
 
+#include "obs/Telemetry.h"
 #include "support/Assert.h"
 #include "support/Format.h"
 #include "vm/Compiler.h"
@@ -244,6 +246,45 @@ std::string VirtualMachine::statisticsReport() {
                  std::to_string(Driver->sendsExecuted())});
   Out += Interp.render();
   return Out;
+}
+
+std::string VirtualMachine::telemetryReport() {
+  Telemetry::Snapshot S = Telemetry::snapshot();
+  std::string Out = "=== telemetry report ===\n";
+
+  TextTable Counters;
+  Counters.setHeader({"counter", "value"});
+  for (const auto &[Name, V] : S.Counters)
+    Counters.addRow({Name, std::to_string(V)});
+  Out += Counters.render();
+
+  if (!S.Gauges.empty()) {
+    TextTable Gauges;
+    Gauges.setHeader({"gauge", "value"});
+    for (const auto &[Name, V] : S.Gauges)
+      Gauges.addRow({Name, std::to_string(V)});
+    Out += Gauges.render();
+  }
+
+  TextTable Hists;
+  Hists.setHeader({"histogram", "count", "p50 (us)", "p95 (us)",
+                   "p99 (us)", "max (us)"});
+  auto Us = [](uint64_t Ns) {
+    return formatDouble(static_cast<double>(Ns) / 1000.0, 1);
+  };
+  for (const auto &H : S.Histograms)
+    Hists.addRow({H.Name, std::to_string(H.Count), Us(H.P50), Us(H.P95),
+                  Us(H.P99), Us(H.Max)});
+  Out += Hists.render();
+  return Out;
+}
+
+bool VirtualMachine::writeTelemetryJson(const std::string &Path) {
+  std::ofstream Os(Path, std::ios::binary | std::ios::trunc);
+  if (!Os)
+    return false;
+  Os << Telemetry::toJson(Telemetry::snapshot());
+  return static_cast<bool>(Os);
 }
 
 uint64_t VirtualMachine::totalBytecodes() const {

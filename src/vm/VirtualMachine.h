@@ -156,6 +156,15 @@ public:
   /// totals; per-interpreter bytecode and send counts.
   std::string statisticsReport();
 
+  /// The registry view of the same instrumentation: every named counter,
+  /// gauge, and pause-time histogram in the process, aggregated — lock
+  /// contention by lock, cache hit rates, scavenge pause p50/p95/p99.
+  std::string telemetryReport();
+
+  /// Writes Telemetry::toJson(Telemetry::snapshot()) to \p Path.
+  /// \returns false on I/O failure.
+  bool writeTelemetryJson(const std::string &Path);
+
 private:
   VmConfig Config;
   std::unique_ptr<ObjectMemory> OM;

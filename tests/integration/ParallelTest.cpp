@@ -12,6 +12,8 @@
 //===----------------------------------------------------------------------===//
 
 #include "TestVm.h"
+#include "obs/Telemetry.h"
+#include "obs/TraceBuffer.h"
 #include "vkernel/Delay.h"
 
 using namespace mst;
@@ -195,6 +197,39 @@ TEST(ParallelTest, HigherPriorityProcessesFinishFirst) {
   ASSERT_TRUE(T.vm().waitHostSignal(Sig, 2, 60.0));
   EXPECT_EQ(T.eval("^(Smalltalk at: #Order) first"),
             T.om().intern("high"));
+}
+
+TEST(ParallelTest, TracingRecordsScavengeSpansFromWorkers) {
+  // With tracing on, a four-worker allocation-heavy run must record at
+  // least one trace span per scavenge that actually happened, and the
+  // telemetry report must surface the pause histogram.
+  clearTrace();
+  Telemetry::setTracingEnabled(true);
+  uint64_t Scavenges = 0;
+  {
+    VmConfig C = VmConfig::multiprocessor(4);
+    C.Memory.EdenBytes = 256u << 10; // small eden → frequent scavenges
+    TestVm T(C);
+    T.vm().startInterpreters();
+    unsigned Sig = T.vm().createHostSignal();
+    for (int I = 0; I < 4; ++I)
+      T.vm().forkDoIt(
+          "1 to: 400 do: [:i | OrderedCollection new addAll: (1 to: 100); "
+          "yourself]. nil hostSignal: " + std::to_string(Sig),
+          5, "alloc" + std::to_string(I));
+    ASSERT_TRUE(T.vm().waitHostSignal(Sig, 4, 60.0));
+    Scavenges = T.vm().memory().statsSnapshot().Scavenges;
+    EXPECT_GE(Scavenges, 1u);
+    // Each performScavenge brackets itself in a "scavenge" span.
+    EXPECT_GE(countTraceSpans("scavenge"), Scavenges);
+    // The report carries the pause quantiles fed by those scavenges.
+    std::string Report = T.vm().telemetryReport();
+    EXPECT_NE(Report.find("gc.scavenge.pause"), std::string::npos)
+        << Report;
+    EXPECT_EQ(T.vm().memory().pauseHistogram().count(), Scavenges);
+  }
+  Telemetry::setTracingEnabled(false);
+  clearTrace();
 }
 
 TEST(InstrumentationTest, ReportCoversEverySubsystem) {

@@ -1,0 +1,413 @@
+//===-- tests/obs/TelemetryTest.cpp - Telemetry/tracing unit tests --------===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the observability layer: striped counter aggregation
+/// across threads, gauge sampling, log-linear histogram quantiles, trace
+/// ring-buffer wraparound, Chrome-trace JSON well-formedness, and the
+/// zero-cost guarantees when telemetry is off.
+///
+//===----------------------------------------------------------------------===//
+
+#include <cctype>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/Histogram.h"
+#include "obs/Telemetry.h"
+#include "obs/TraceBuffer.h"
+#include "vkernel/SpinLock.h"
+
+using namespace mst;
+
+namespace {
+
+/// Looks up \p Name in a snapshot's counter list. \returns 0 when absent.
+uint64_t counterOf(const Telemetry::Snapshot &S, const std::string &Name) {
+  for (const auto &[N, V] : S.Counters)
+    if (N == Name)
+      return V;
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// A minimal JSON well-formedness checker, enough to reject anything a
+// strict parser (or Perfetto's trace importer) would choke on.
+//===----------------------------------------------------------------------===//
+
+class JsonChecker {
+public:
+  explicit JsonChecker(const std::string &S) : S(S) {}
+
+  bool valid() {
+    skipWs();
+    if (!value())
+      return false;
+    skipWs();
+    return P == S.size();
+  }
+
+private:
+  const std::string &S;
+  size_t P = 0;
+
+  void skipWs() {
+    while (P < S.size() && std::isspace(static_cast<unsigned char>(S[P])))
+      ++P;
+  }
+  bool lit(const char *L) {
+    size_t N = std::strlen(L);
+    if (S.compare(P, N, L) != 0)
+      return false;
+    P += N;
+    return true;
+  }
+  bool value() {
+    if (P >= S.size())
+      return false;
+    switch (S[P]) {
+    case '{':
+      return object();
+    case '[':
+      return array();
+    case '"':
+      return string();
+    case 't':
+      return lit("true");
+    case 'f':
+      return lit("false");
+    case 'n':
+      return lit("null");
+    default:
+      return number();
+    }
+  }
+  bool object() {
+    ++P; // '{'
+    skipWs();
+    if (P < S.size() && S[P] == '}') {
+      ++P;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      if (!string())
+        return false;
+      skipWs();
+      if (P >= S.size() || S[P] != ':')
+        return false;
+      ++P;
+      skipWs();
+      if (!value())
+        return false;
+      skipWs();
+      if (P < S.size() && S[P] == ',') {
+        ++P;
+        continue;
+      }
+      break;
+    }
+    if (P >= S.size() || S[P] != '}')
+      return false;
+    ++P;
+    return true;
+  }
+  bool array() {
+    ++P; // '['
+    skipWs();
+    if (P < S.size() && S[P] == ']') {
+      ++P;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      if (!value())
+        return false;
+      skipWs();
+      if (P < S.size() && S[P] == ',') {
+        ++P;
+        continue;
+      }
+      break;
+    }
+    if (P >= S.size() || S[P] != ']')
+      return false;
+    ++P;
+    return true;
+  }
+  bool string() {
+    if (P >= S.size() || S[P] != '"')
+      return false;
+    ++P;
+    while (P < S.size() && S[P] != '"') {
+      unsigned char C = static_cast<unsigned char>(S[P]);
+      if (C < 0x20)
+        return false; // raw control character — must be escaped
+      if (S[P] == '\\') {
+        ++P;
+        if (P >= S.size())
+          return false;
+        char E = S[P];
+        if (E == 'u') {
+          for (int I = 0; I < 4; ++I) {
+            ++P;
+            if (P >= S.size() ||
+                !std::isxdigit(static_cast<unsigned char>(S[P])))
+              return false;
+          }
+        } else if (!std::strchr("\"\\/bfnrt", E)) {
+          return false;
+        }
+      }
+      ++P;
+    }
+    if (P >= S.size())
+      return false;
+    ++P; // closing quote
+    return true;
+  }
+  bool number() {
+    size_t Start = P;
+    if (P < S.size() && S[P] == '-')
+      ++P;
+    while (P < S.size() &&
+           (std::isdigit(static_cast<unsigned char>(S[P])) || S[P] == '.' ||
+            S[P] == 'e' || S[P] == 'E' || S[P] == '+' || S[P] == '-'))
+      ++P;
+    return P > Start;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Counters and gauges
+//===----------------------------------------------------------------------===//
+
+TEST(TelemetryTest, CounterAggregatesAcrossThreads) {
+  Counter C("test.threads");
+  constexpr unsigned Threads = 4;
+  constexpr uint64_t PerThread = 10000;
+  std::vector<std::thread> Ts;
+  for (unsigned I = 0; I < Threads; ++I)
+    Ts.emplace_back([&C] {
+      for (uint64_t K = 0; K < PerThread; ++K)
+        C.add();
+    });
+  for (auto &T : Ts)
+    T.join();
+  EXPECT_EQ(C.value(), Threads * PerThread);
+  EXPECT_EQ(counterOf(Telemetry::snapshot(), "test.threads"),
+            Threads * PerThread);
+  C.reset();
+  EXPECT_EQ(C.value(), 0u);
+}
+
+TEST(TelemetryTest, DuplicateCounterNamesSumInRegistry) {
+  // Several VM instances register counters under the same name; the
+  // registry reports their sum (and drops them once destroyed).
+  {
+    Counter A("test.dup"), B("test.dup");
+    A.add(3);
+    B.add(4);
+    EXPECT_EQ(counterOf(Telemetry::snapshot(), "test.dup"), 7u);
+  }
+  EXPECT_EQ(counterOf(Telemetry::snapshot(), "test.dup"), 0u);
+}
+
+TEST(TelemetryTest, UnnamedCounterStaysOutOfRegistry) {
+  Counter C;
+  C.add(99);
+  EXPECT_EQ(C.value(), 99u);
+  for (const auto &[N, V] : Telemetry::snapshot().Counters)
+    EXPECT_FALSE(N.empty());
+}
+
+TEST(TelemetryTest, GaugeSamplesItsCallback) {
+  uint64_t Backing = 17;
+  Gauge G("test.gauge", [&Backing] { return Backing; });
+  auto S = Telemetry::snapshot();
+  uint64_t Got = 0;
+  for (const auto &[N, V] : S.Gauges)
+    if (N == "test.gauge")
+      Got = V;
+  EXPECT_EQ(Got, 17u);
+}
+
+//===----------------------------------------------------------------------===//
+// Histograms
+//===----------------------------------------------------------------------===//
+
+TEST(TelemetryTest, HistogramQuantilesOnUniform) {
+  Histogram H;
+  for (uint64_t V = 1; V <= 1000; ++V)
+    H.record(V);
+  EXPECT_EQ(H.count(), 1000u);
+  EXPECT_EQ(H.min(), 1u);
+  EXPECT_EQ(H.max(), 1000u);
+  // Log-linear buckets with 16 sub-buckets bound relative error ~6%; use
+  // a generous 10% gate.
+  EXPECT_NEAR(H.percentile(50.0), 500.0, 50.0);
+  EXPECT_NEAR(H.percentile(95.0), 950.0, 95.0);
+  EXPECT_NEAR(H.percentile(99.0), 990.0, 99.0);
+  EXPECT_EQ(H.percentile(100.0), 1000.0);
+}
+
+TEST(TelemetryTest, HistogramSummariesMergeByName) {
+  Histogram A("test.hist"), B("test.hist");
+  A.record(100);
+  B.record(300);
+  auto S = Telemetry::snapshot();
+  bool Found = false;
+  for (const auto &HS : S.Histograms)
+    if (HS.Name == "test.hist") {
+      Found = true;
+      EXPECT_EQ(HS.Count, 2u);
+      EXPECT_EQ(HS.Max, 300u);
+    }
+  EXPECT_TRUE(Found);
+}
+
+//===----------------------------------------------------------------------===//
+// Trace ring buffers
+//===----------------------------------------------------------------------===//
+
+class TracingTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    clearTrace();
+    Telemetry::setTracingEnabled(true);
+  }
+  void TearDown() override {
+    Telemetry::setTracingEnabled(false);
+    clearTrace();
+  }
+};
+
+TEST_F(TracingTest, SpansAndInstantsAreRecorded) {
+  {
+    TraceSpan S("test.span", "test");
+    S.setArg(42);
+  }
+  traceInstant("test.instant", "test");
+  EXPECT_EQ(countTraceSpans("test.span"), 1u);
+  EXPECT_GE(traceEventCount(), 2u);
+}
+
+TEST_F(TracingTest, RingBufferWrapsKeepingNewestEvents) {
+  for (size_t I = 0; I < TraceRingCapacity + 100; ++I)
+    traceInstant("test.flood", "test", I);
+  // The ring holds exactly the newest TraceRingCapacity events; older
+  // ones were overwritten.
+  EXPECT_EQ(traceEventCount(), TraceRingCapacity);
+  // And the merged export is still well-formed JSON.
+  std::string Json = chromeTraceJson();
+  EXPECT_TRUE(JsonChecker(Json).valid()) << Json.substr(0, 400);
+}
+
+TEST_F(TracingTest, ChromeTraceJsonSchema) {
+  setTraceThreadInfo("tester", 2);
+  {
+    TraceSpan S("test \"quoted\"\nspan", "test");
+    (void)S;
+  }
+  traceInstant("test.mark", "test", 7);
+  std::string Json = chromeTraceJson();
+  ASSERT_TRUE(JsonChecker(Json).valid()) << Json.substr(0, 400);
+  // Chrome trace-event format essentials: the event array, complete and
+  // instant phases, thread metadata, and our processor-based pid.
+  EXPECT_NE(Json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(Json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(Json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(Json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(Json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(Json.find("vp 2"), std::string::npos);
+  // The raw quote/newline in the span name must have been escaped.
+  EXPECT_NE(Json.find("test \\\"quoted\\\"\\nspan"), std::string::npos);
+}
+
+TEST(TelemetryTest, TracingDisabledRecordsNothing) {
+  Telemetry::setTracingEnabled(false);
+  clearTrace();
+  {
+    TraceSpan S("test.off", "test");
+    EXPECT_FALSE(S.active());
+  }
+  traceInstant("test.off.instant", "test");
+  EXPECT_EQ(traceEventCount(), 0u);
+  EXPECT_EQ(countTraceSpans("test.off"), 0u);
+}
+
+TEST(TelemetryTest, SnapshotJsonIsWellFormed) {
+  Counter C("test.json \"tricky\"");
+  C.add(5);
+  Histogram H("test.json.hist");
+  H.record(1234);
+  std::string Json = Telemetry::toJson(Telemetry::snapshot());
+  EXPECT_TRUE(JsonChecker(Json).valid()) << Json.substr(0, 400);
+  EXPECT_NE(Json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(Json.find("\"histograms\""), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Zero-cost-when-off guarantees
+//===----------------------------------------------------------------------===//
+
+TEST(TelemetryTest, DisabledSpinLockIsZeroCost) {
+  // Baseline-BS mode: a disabled lock does no atomic work at all — not
+  // even counting — so the uniprocessor configuration pays nothing for
+  // the instrumentation.
+  SpinLock L(false, "testdisabled");
+  for (int I = 0; I < 100; ++I) {
+    L.lock();
+    L.unlock();
+    EXPECT_TRUE(L.tryLock());
+    L.unlock();
+  }
+  EXPECT_EQ(L.acquisitions(), 0u);
+  EXPECT_EQ(L.contendedAcquisitions(), 0u);
+  EXPECT_EQ(L.delays(), 0u);
+  EXPECT_EQ(counterOf(Telemetry::snapshot(),
+                      "lock.testdisabled.acquisitions"),
+            0u);
+}
+
+TEST_F(TracingTest, ContendedSpinLockRecordsWaitSpan) {
+  // A contended acquisition of a named lock shows up in the trace as a
+  // span named after the lock, in the "lock" category.
+  SpinLock L(true, "testcontend");
+  L.lock();
+  std::thread Waiter([&L] {
+    L.lock(); // blocks until the main thread releases
+    L.unlock();
+  });
+  while (L.contendedAcquisitions() == 0)
+    std::this_thread::yield();
+  L.unlock();
+  Waiter.join();
+  EXPECT_GE(countTraceSpans("testcontend"), 1u);
+  EXPECT_NE(chromeTraceJson().find("\"cat\":\"lock\""), std::string::npos);
+}
+
+TEST(TelemetryTest, EnabledSpinLockCountsAcquisitions) {
+  SpinLock L(true, "testenabled");
+  for (int I = 0; I < 10; ++I) {
+    L.lock();
+    L.unlock();
+  }
+  EXPECT_TRUE(L.tryLock());
+  EXPECT_FALSE(L.tryLock()); // already held → contended, not acquired
+  L.unlock();
+  EXPECT_EQ(L.acquisitions(), 12u);
+  EXPECT_EQ(L.contendedAcquisitions(), 1u);
+  EXPECT_EQ(counterOf(Telemetry::snapshot(),
+                      "lock.testenabled.acquisitions"),
+            12u);
+}
+
+} // namespace

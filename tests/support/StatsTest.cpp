@@ -47,6 +47,48 @@ TEST(StatsTest, KnownSequence) {
   EXPECT_NEAR(S.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
 }
 
+TEST(StatsTest, PercentilesOnUniformDistribution) {
+  RunningStats S;
+  for (int I = 1; I <= 1000; ++I)
+    S.add(static_cast<double>(I));
+  // The backing histogram is log-linear with 16 sub-buckets, so the
+  // relative quantile error is bounded (~6%); gate at 10%.
+  EXPECT_NEAR(S.p50(), 500.0, 50.0);
+  EXPECT_NEAR(S.p95(), 950.0, 95.0);
+  EXPECT_NEAR(S.p99(), 990.0, 99.0);
+  EXPECT_NEAR(S.percentile(100.0), 1000.0, 1.0);
+}
+
+TEST(StatsTest, PercentilesOnConstantAndSmallSamples) {
+  RunningStats S;
+  EXPECT_EQ(S.p50(), 0.0); // no samples
+  for (int I = 0; I < 8; ++I)
+    S.add(2.5);
+  EXPECT_NEAR(S.p50(), 2.5, 0.25);
+  EXPECT_NEAR(S.p99(), 2.5, 0.25);
+
+  RunningStats One;
+  One.add(7.0);
+  EXPECT_NEAR(One.p50(), 7.0, 0.7);
+  EXPECT_NEAR(One.p99(), 7.0, 0.7);
+}
+
+TEST(StatsTest, PercentilesOnSkewedDistribution) {
+  // 99 fast samples and one slow outlier: p50 stays near the bulk while
+  // p99+ surfaces the outlier — the pause-time-reporting use case.
+  RunningStats S;
+  for (int I = 0; I < 99; ++I)
+    S.add(1.0);
+  S.add(1000.0);
+  EXPECT_NEAR(S.p50(), 1.0, 0.1);
+  EXPECT_NEAR(S.percentile(100.0), 1000.0, 100.0);
+  // Negative samples clamp to zero rather than corrupting the histogram.
+  RunningStats Neg;
+  Neg.add(-5.0);
+  EXPECT_EQ(Neg.p50(), 0.0);
+  EXPECT_EQ(Neg.min(), -5.0); // Welford min still sees the raw value
+}
+
 /// Property: Welford accumulation matches the two-pass reference on
 /// random samples, across several seeds.
 class StatsPropertyTest : public ::testing::TestWithParam<uint64_t> {};
