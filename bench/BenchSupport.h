@@ -27,6 +27,7 @@
 #include "obs/TraceBuffer.h"
 #include "support/Format.h"
 #include "support/Stats.h"
+#include "vkernel/Chaos.h"
 #include "vm/VirtualMachine.h"
 
 namespace mst {
@@ -88,8 +89,11 @@ struct BenchFlags {
   std::string JsonOut;          ///< --json-out=PATH: machine-readable results
 };
 
-/// Parses --telemetry / --trace-out= / --json-out= and enables tracing when
-/// a trace path was given. Unknown arguments abort with a usage message.
+/// Parses --telemetry / --trace-out= / --json-out= / --chaos-seed= and
+/// enables tracing when a trace path was given. Unknown arguments abort
+/// with a usage message. A --chaos-seed (or MST_CHAOS_SEED in the
+/// environment) turns on schedule chaos for the whole run — for measuring
+/// how robust the numbers are to hostile interleavings, not for Table 2.
 inline BenchFlags parseBenchFlags(int Argc, char **Argv) {
   BenchFlags F;
   for (int I = 1; I < Argc; ++I) {
@@ -100,16 +104,20 @@ inline BenchFlags parseBenchFlags(int Argc, char **Argv) {
       F.TraceOut = A + 12;
     } else if (std::strncmp(A, "--json-out=", 11) == 0) {
       F.JsonOut = A + 11;
+    } else if (std::strncmp(A, "--chaos-seed=", 13) == 0) {
+      chaos::enableSeed(std::strtoull(A + 13, nullptr, 0));
     } else {
       std::fprintf(stderr,
                    "unknown argument '%s'\nusage: %s [--telemetry] "
-                   "[--trace-out=PATH] [--json-out=PATH]\n",
+                   "[--trace-out=PATH] [--json-out=PATH] [--chaos-seed=N]\n",
                    A, Argv[0]);
       std::exit(2);
     }
   }
   if (!F.TraceOut.empty())
     Telemetry::setTracingEnabled(true);
+  if (!chaos::enabled())
+    chaos::enableFromEnv();
   return F;
 }
 

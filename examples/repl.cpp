@@ -30,6 +30,7 @@
 
 #include "image/Bootstrap.h"
 #include "obs/TraceBuffer.h"
+#include "vkernel/Chaos.h"
 #include "vm/VirtualMachine.h"
 
 using namespace mst;
@@ -44,12 +45,18 @@ int main(int argc, char **argv) {
     } else if (std::strncmp(A, "--trace-out=", 12) == 0) {
       TraceOut = A + 12;
       Telemetry::setTracingEnabled(true);
+    } else if (std::strncmp(A, "--chaos-seed=", 13) == 0) {
+      chaos::enableSeed(std::strtoull(A + 13, nullptr, 0));
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--telemetry] [--trace-out=PATH]\n", argv[0]);
+                   "usage: %s [--telemetry] [--trace-out=PATH] "
+                   "[--chaos-seed=N]\n",
+                   argv[0]);
       return 2;
     }
   }
+  if (!chaos::enabled())
+    chaos::enableFromEnv(); // MST_CHAOS_SEED et al.
 
   VirtualMachine VM(VmConfig::multiprocessor(1));
   bootstrapImage(VM);

@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+#===-- scripts/ci.sh - Build/test matrix driver --------------------------===#
+#
+# Part of the Multiprocessor Smalltalk reproduction. MIT license.
+#
+# Runs the repo's build/test matrix. Each configuration gets its own build
+# tree under build-ci/, so rerunning a single configuration is incremental.
+#
+#   scripts/ci.sh                 # full matrix
+#   scripts/ci.sh release tsan    # just those configurations
+#   MST_CHAOS_SEED=1337 scripts/ci.sh debug-chaos   # pin the chaos seed
+#
+# Configurations:
+#   release      Release build, quick suite (-L quick) — the tier-1 gate.
+#   debug-chaos  Debug build, quick + stress suites with chaos enabled.
+#   tsan         ThreadSanitizer + chaos, quick + stress suites.
+#   asan         Address+UB sanitizers, quick + stress suites.
+#
+# The stress binaries print the failing chaos seed in the test output
+# (SCOPED_TRACE "chaos-seed=N"); reproduce with MST_CHAOS_SEED=N.
+#===----------------------------------------------------------------------===#
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS=${JOBS:-$(nproc)}
+# Default seed sweep lives in the tests; export a seed here to override.
+CHAOS_SEED=${MST_CHAOS_SEED:-}
+
+# TSan histories are finite; long-lived rings can age out of them. Keep
+# reports readable and make second_deadlock_stack available.
+export TSAN_OPTIONS=${TSAN_OPTIONS:-"halt_on_error=1 second_deadlock_stack=1"}
+export ASAN_OPTIONS=${ASAN_OPTIONS:-"detect_leaks=0"}
+export UBSAN_OPTIONS=${UBSAN_OPTIONS:-"print_stacktrace=1 halt_on_error=1"}
+
+banner() { printf '\n=== %s ===\n' "$*"; }
+
+# configure <dir> <build-type> <sanitize>
+configure() {
+  cmake -B "build-ci/$1" -S . \
+    -DCMAKE_BUILD_TYPE="$2" \
+    -DMST_SANITIZE="$3" \
+    -DMST_BUILD_BENCH=OFF >/dev/null
+}
+
+# run_suite <dir> <label> [chaos]
+run_suite() {
+  local dir=$1 label=$2 chaos=${3:-}
+  local env=()
+  if [ -n "$chaos" ]; then
+    env+=(MST_CHAOS_SEED="${CHAOS_SEED:-1}")
+  fi
+  env "${env[@]}" ctest --test-dir "build-ci/$dir" -L "$label" \
+    --output-on-failure -j "$JOBS"
+}
+
+do_release() {
+  banner "release: Release, quick suite"
+  configure release Release ""
+  cmake --build build-ci/release -j "$JOBS"
+  run_suite release quick
+}
+
+do_debug_chaos() {
+  banner "debug-chaos: Debug, quick + stress, chaos on"
+  configure debug-chaos Debug ""
+  cmake --build build-ci/debug-chaos -j "$JOBS"
+  run_suite debug-chaos quick
+  run_suite debug-chaos stress chaos
+}
+
+do_tsan() {
+  banner "tsan: ThreadSanitizer + chaos, quick + stress"
+  configure tsan RelWithDebInfo thread
+  cmake --build build-ci/tsan -j "$JOBS"
+  run_suite tsan quick
+  run_suite tsan stress chaos
+}
+
+do_asan() {
+  banner "asan: Address+UB sanitizers, quick + stress"
+  configure asan RelWithDebInfo address,undefined
+  cmake --build build-ci/asan -j "$JOBS"
+  run_suite asan quick
+  run_suite asan stress chaos
+}
+
+CONFIGS=("$@")
+if [ ${#CONFIGS[@]} -eq 0 ]; then
+  CONFIGS=(release debug-chaos tsan asan)
+fi
+
+for C in "${CONFIGS[@]}"; do
+  case "$C" in
+  release) do_release ;;
+  debug-chaos) do_debug_chaos ;;
+  tsan) do_tsan ;;
+  asan) do_asan ;;
+  *)
+    echo "unknown configuration: $C (known: release debug-chaos tsan asan)" >&2
+    exit 2
+    ;;
+  esac
+done
+
+banner "matrix complete: ${CONFIGS[*]}"

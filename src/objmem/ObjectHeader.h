@@ -66,8 +66,13 @@ struct ObjectHeader {
 
   ObjectFormat Format;
 
-  /// Flag bits (FlagOld, FlagRemembered, FlagEscaped).
-  uint8_t Flags;
+  /// Flag bits (FlagOld, FlagRemembered, FlagEscaped). Atomic because
+  /// different bits are owned by different subsystems (tenuring, the
+  /// entry-table lock, context escape) and may be updated from different
+  /// threads; relaxed RMWs keep concurrent bit updates from losing each
+  /// other. No ordering is implied — each bit's consistency comes from
+  /// its own subsystem's synchronization.
+  std::atomic<uint8_t> Flags;
 
   /// Scavenges survived; reaching the tenuring threshold promotes the
   /// object to the old generation.
@@ -111,15 +116,24 @@ struct ObjectHeader {
                                              std::memory_order_acq_rel);
   }
 
-  bool isOld() const { return (Flags & FlagOld) != 0; }
-  bool isRemembered() const { return (Flags & FlagRemembered) != 0; }
-  bool isEscaped() const { return (Flags & FlagEscaped) != 0; }
-
-  void setOld() { Flags |= FlagOld; }
-  void setRemembered(bool R) {
-    Flags = R ? (Flags | FlagRemembered) : (Flags & ~FlagRemembered);
+  bool isOld() const {
+    return (Flags.load(std::memory_order_relaxed) & FlagOld) != 0;
   }
-  void setEscaped() { Flags |= FlagEscaped; }
+  bool isRemembered() const {
+    return (Flags.load(std::memory_order_relaxed) & FlagRemembered) != 0;
+  }
+  bool isEscaped() const {
+    return (Flags.load(std::memory_order_relaxed) & FlagEscaped) != 0;
+  }
+
+  void setOld() { Flags.fetch_or(FlagOld, std::memory_order_relaxed); }
+  void setRemembered(bool R) {
+    if (R)
+      Flags.fetch_or(FlagRemembered, std::memory_order_relaxed);
+    else
+      Flags.fetch_and(uint8_t(~FlagRemembered), std::memory_order_relaxed);
+  }
+  void setEscaped() { Flags.fetch_or(FlagEscaped, std::memory_order_relaxed); }
 
   /// \returns a pointer to the body's slot array.
   Oop *slots() { return reinterpret_cast<Oop *>(this + 1); }

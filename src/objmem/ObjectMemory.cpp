@@ -7,11 +7,13 @@
 #include "objmem/ObjectMemory.h"
 
 #include <cstring>
+#include <unordered_set>
 
 #include "objmem/Scavenger.h"
 #include "obs/TraceBuffer.h"
 #include "support/Assert.h"
 #include "support/Timer.h"
+#include "vkernel/Chaos.h"
 
 using namespace mst;
 
@@ -73,7 +75,7 @@ void ObjectMemory::initHeader(ObjectHeader *H, Oop Cls, uint32_t Slots,
   H->Hash = NextHash.fetch_add(1, std::memory_order_relaxed);
   H->ByteLength = Format == ObjectFormat::Bytes ? ByteLen : 0;
   H->Format = Format;
-  H->Flags = IsOld ? FlagOld : 0;
+  H->Flags.store(IsOld ? FlagOld : 0, std::memory_order_relaxed);
   H->Age = 0;
   H->Unused = 0;
 }
@@ -209,6 +211,9 @@ void ObjectMemory::scavengeNow() {
 }
 
 void ObjectMemory::performScavenge() {
+  // Perturbing here widens the gap between winning the rendezvous and the
+  // first forwarding store — the window where late pollers would bite.
+  chaos::point("scavenge.start");
   TraceSpan Span("scavenge", "gc");
   uint64_t StartNs = Telemetry::nowNs();
   Stopwatch Watch;
@@ -252,4 +257,111 @@ void ObjectMemory::performScavenge() {
 ScavengeStats ObjectMemory::statsSnapshot() {
   std::lock_guard<std::mutex> Guard(StatsMutex);
   return Stats;
+}
+
+bool ObjectMemory::verifyHeap(std::string *Error) {
+  // Eden cannot be scanned linearly — abandoned TLAB tails leave
+  // uninitialized holes — so verification is a reachability walk from the
+  // same roots the scavenger uses.
+  char Buf[192];
+  auto Fail = [&](const ObjectHeader *H, const char *Msg) {
+    if (Error) {
+      std::snprintf(Buf, sizeof(Buf), "verifyHeap: object %p: %s",
+                    static_cast<const void *>(H), Msg);
+      *Error = Buf;
+    }
+    return false;
+  };
+
+  LinearSpace &Active = Survivors[ActiveSurvivor];
+  LinearSpace &Inactive = Survivors[1 - ActiveSurvivor];
+  auto IsYoung = [&](const ObjectHeader *H) {
+    return Eden.contains(H) || Active.contains(H);
+  };
+
+  std::vector<Oop> Pending;
+  auto AddRoot = [&](Oop V) {
+    if (V.isPointer())
+      Pending.push_back(V);
+  };
+  AddRoot(Nil);
+  {
+    std::lock_guard<std::mutex> Guard(RootsMutex);
+    for (auto &Walker : RootWalkers)
+      Walker([&](Oop *Cell) { AddRoot(*Cell); });
+  }
+  {
+    std::lock_guard<std::mutex> Guard(MutatorsMutex);
+    for (auto &M : Mutators)
+      for (Oop *Cell : M->Handles.cells())
+        AddRoot(*Cell);
+  }
+  for (ObjectHeader *H : RemSet.entries()) {
+    if (!H->isRemembered())
+      return Fail(H, "entry-table member without remembered flag");
+    AddRoot(Oop::fromObject(H));
+  }
+
+  std::unordered_set<const ObjectHeader *> Visited;
+  while (!Pending.empty()) {
+    Oop O = Pending.back();
+    Pending.pop_back();
+    if (O.bits() & 7u)
+      return Fail(O.object(), "misaligned object pointer");
+    ObjectHeader *H = O.object();
+    if (!Visited.insert(H).second)
+      continue;
+
+    bool InEden = Eden.contains(H);
+    bool InActive = Active.contains(H);
+    if (Inactive.contains(H))
+      return Fail(H, "lives in the inactive survivor space");
+    if (!InEden && !InActive && !Old.contains(H))
+      return Fail(H, "lies outside every heap space");
+    if (H->isOld() == (InEden || InActive))
+      return Fail(H, "old flag disagrees with the space it lives in");
+    if (H->isForwarded())
+      return Fail(H, "forwarded outside a scavenge");
+    if (H->Format != ObjectFormat::Pointers &&
+        H->Format != ObjectFormat::Bytes &&
+        H->Format != ObjectFormat::Context)
+      return Fail(H, "invalid format byte");
+    const uint8_t *End =
+        reinterpret_cast<const uint8_t *>(H) + H->totalBytes();
+    if (InEden && End > Eden.frontier())
+      return Fail(H, "body overruns the eden frontier");
+    if (InActive && End > Active.frontier())
+      return Fail(H, "body overruns the survivor frontier");
+
+    // A null class word is legal (the bootstrap nil); anything else must
+    // be an object pointer — the scavenger treats it as a reference.
+    Oop Cls = H->classOop();
+    if (!Cls.isNull()) {
+      if (!Cls.isPointer())
+        return Fail(H, "class word is neither null nor an object pointer");
+      Pending.push_back(Cls);
+    }
+
+    if (H->Format == ObjectFormat::Context &&
+        H->SlotCount <= ContextSpSlotIndex)
+      return Fail(H, "context too small for its stack-pointer slot");
+    uint32_t Live = Scavenger::liveSlots(H);
+    if (Live > H->SlotCount)
+      return Fail(H, "live slot count exceeds the slot count");
+    bool RefsYoung = false;
+    const Oop *Slots = H->slots();
+    for (uint32_t I = 0; I < Live; ++I) {
+      Oop V = Slots[I];
+      if (V.isNull() || V.isSmallInt())
+        continue;
+      if (V.bits() & 7u)
+        return Fail(H, "misaligned pointer in a live slot");
+      if (IsYoung(V.object()))
+        RefsYoung = true;
+      Pending.push_back(V);
+    }
+    if (H->isOld() && RefsYoung && !H->isRemembered())
+      return Fail(H, "old object references young but is not remembered");
+  }
+  return true;
 }

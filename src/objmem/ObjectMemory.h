@@ -24,6 +24,7 @@
 #ifndef MST_OBJMEM_OBJECTMEMORY_H
 #define MST_OBJMEM_OBJECTMEMORY_H
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <functional>
@@ -153,6 +154,16 @@ public:
   /// --- Field access -------------------------------------------------------
 
   /// \returns field \p I of \p Obj. No barrier needed on reads.
+  ///
+  /// Slot accesses go through acquire/release atomics: object bodies are
+  /// shared between interpreters with no per-object lock (the paper's MS
+  /// never locks bodies — races on slots are Smalltalk-level races,
+  /// resolved by Smalltalk-level synchronization or accepted by the
+  /// program). The atomic makes the word-sized access untorn, and the
+  /// release/acquire pair orders a new object's header initialization
+  /// before any use by a thread that observes its oop through a shared
+  /// slot — the publication edge a real multiprocessor needs. On x86
+  /// both compile to the same mov as a plain access.
   static Oop fetchPointer(Oop Obj, uint32_t I) {
     ObjectHeader *H = Obj.object();
     // Out-of-range fetches indicate VM corruption; diagnose loudly even
@@ -163,7 +174,9 @@ public:
                    "format %d\n",
                    I, H->SlotCount, static_cast<int>(H->Format));
     assert(I < H->SlotCount && "fetchPointer out of range");
-    return H->slots()[I];
+    uintptr_t &Cell = reinterpret_cast<uintptr_t *>(H->slots())[I];
+    return Oop::fromBits(
+        std::atomic_ref<uintptr_t>(Cell).load(std::memory_order_acquire));
   }
 
   /// Stores \p V into field \p I of \p Obj with the generational write
@@ -181,7 +194,9 @@ public:
   void storePointerNoEscape(Oop Obj, uint32_t I, Oop V) {
     ObjectHeader *H = Obj.object();
     assert(I < H->SlotCount && "storePointer out of range");
-    H->slots()[I] = V;
+    uintptr_t &Cell = reinterpret_cast<uintptr_t *>(H->slots())[I];
+    std::atomic_ref<uintptr_t>(Cell).store(V.bits(),
+                                           std::memory_order_release);
     writeBarrier(H, V);
   }
 
@@ -211,6 +226,20 @@ public:
 
   Safepoint &safepoint() { return Sp; }
   RememberedSet &rememberedSet() { return RemSet; }
+
+  /// --- Debug verification ---------------------------------------------------
+
+  /// Walks every object reachable from the roots (nil, registered root
+  /// walkers, mutator handle stacks, remembered old objects) and checks
+  /// the heap invariants: each object lies in eden, the active survivor
+  /// space, or old space (never the inactive survivor space); its old flag
+  /// agrees with where it lives; it is not forwarded; its body stays below
+  /// its space's frontier; its class is a valid pointer; live pointer
+  /// slots are aligned; and every old object holding a young reference is
+  /// remembered. Must run with no concurrent mutation (world stopped or
+  /// workload quiesced). \returns true when the heap is consistent; on
+  /// failure describes the first violation in \p Error when given.
+  bool verifyHeap(std::string *Error = nullptr);
 
   /// \returns a snapshot of the scavenger statistics.
   ScavengeStats statsSnapshot();

@@ -8,6 +8,7 @@
 
 #include "obs/TraceBuffer.h"
 #include "support/Assert.h"
+#include "vkernel/Chaos.h"
 
 using namespace mst;
 
@@ -25,6 +26,7 @@ void Safepoint::unregisterMutator() {
 }
 
 void Safepoint::pollSlow() {
+  chaos::point("safepoint.poll");
   std::unique_lock<std::mutex> Lock(Mutex);
   if (!Pending && !InProgress)
     return;
@@ -32,15 +34,19 @@ void Safepoint::pollSlow() {
   Cv.notify_all();
   Cv.wait(Lock, [this] { return !Pending && !InProgress; });
   --SafeMutators;
+  Lock.unlock();
+  chaos::point("safepoint.resume");
 }
 
 void Safepoint::blockedRegionEnter() {
+  chaos::point("safepoint.blocked.enter");
   std::lock_guard<std::mutex> Guard(Mutex);
   ++SafeMutators;
   Cv.notify_all();
 }
 
 void Safepoint::blockedRegionLeave() {
+  chaos::point("safepoint.blocked.leave");
   std::unique_lock<std::mutex> Lock(Mutex);
   Cv.wait(Lock, [this] { return !Pending && !InProgress; });
   assert(SafeMutators > 0 && "blocked-region bookkeeping broken");
@@ -48,6 +54,7 @@ void Safepoint::blockedRegionLeave() {
 }
 
 bool Safepoint::requestStopTheWorld() {
+  chaos::point("safepoint.request");
   std::unique_lock<std::mutex> Lock(Mutex);
   if (Pending || InProgress) {
     // Someone else is collecting. Park as a safe mutator until their pause
@@ -70,6 +77,10 @@ bool Safepoint::requestStopTheWorld() {
   Pending = false;
   InProgress = true;
   RendezvousHist.record(Telemetry::nowNs() - StartNs);
+  Lock.unlock();
+  // The window between winning the rendezvous and starting the stopped-
+  // world work is where a coordinator-side bug would bite; widen it.
+  chaos::point("safepoint.handoff");
   return true;
 }
 

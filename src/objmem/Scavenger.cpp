@@ -64,14 +64,23 @@ ObjectHeader *Scavenger::copyObject(ObjectHeader *Obj) {
     Dest = OM.Old.allocate(Total);
 
   auto *Copy = reinterpret_cast<ObjectHeader *>(Dest);
-  // The header contains an atomic word; raw memcpy is intended here (the
-  // source is immutable while the world is stopped, modulo the forwarding
-  // CAS below, and the class word is re-stored explicitly).
-  std::memcpy(static_cast<void *>(Copy), static_cast<const void *>(Obj),
-              Total);
+  // The body is immutable while the world is stopped, so a plain memcpy is
+  // fine there. The header is rebuilt field by field instead: a rival
+  // worker's forwarding CAS may hit the source's class word concurrently,
+  // so it must not be read again — the capture from above is used.
+  std::memcpy(static_cast<void *>(Copy + 1),
+              static_cast<const void *>(Obj + 1),
+              Total - sizeof(ObjectHeader));
   Copy->ClassBits.store(ClassBits, std::memory_order_relaxed);
+  Copy->SlotCount = Obj->SlotCount;
+  Copy->Hash = Obj->Hash;
+  Copy->ByteLength = Obj->ByteLength;
+  Copy->Format = Obj->Format;
+  Copy->Flags.store(
+      Obj->Flags.load(std::memory_order_relaxed) & uint8_t(~FlagRemembered),
+      std::memory_order_relaxed);
   Copy->Age = Tenure ? 0 : NewAge;
-  Copy->setRemembered(false);
+  Copy->Unused = 0;
   if (Tenure)
     Copy->setOld();
 

@@ -49,6 +49,11 @@ public:
   uint64_t objectsCopied() const { return ObjectsCopied; }
   uint64_t objectsTenured() const { return ObjectsTenured; }
 
+  /// \returns the number of body slots the collector must treat as live
+  /// oop cells. Shared with ObjectMemory::verifyHeap(), which must agree
+  /// with the collector about which fields are traced.
+  static uint32_t liveSlots(const ObjectHeader *Obj);
+
 private:
   /// Gathers the addresses of every root oop cell: registered walkers,
   /// mutator handle stacks, and the live fields of remembered old objects.
@@ -64,10 +69,6 @@ private:
 
   /// Visits the class word and every live field of \p Obj.
   void scanObject(ObjectHeader *Obj);
-
-  /// \returns the number of body slots the collector must treat as live
-  /// oop cells.
-  static uint32_t liveSlots(const ObjectHeader *Obj);
 
   /// Worker loop: drain the scan stack until global quiescence.
   void drainLoop(unsigned NumWorkers);

@@ -25,13 +25,29 @@ uint8_t *OldSpace::allocate(size_t Bytes) {
   SpinLockGuard Guard(Lock);
   if (Cur == nullptr || Cur + Bytes > Limit) {
     size_t NewChunk = ChunkBytes > Bytes + 16 ? ChunkBytes : Bytes + 16;
-    Chunks.push_back(std::make_unique<uint8_t[]>(NewChunk));
-    auto Raw = reinterpret_cast<uintptr_t>(Chunks.back().get());
-    Cur = reinterpret_cast<uint8_t *>((Raw + 15) & ~uintptr_t(15));
-    Limit = Cur + NewChunk - 16;
+    Chunk C;
+    C.Mem = std::make_unique<uint8_t[]>(NewChunk);
+    auto Raw = reinterpret_cast<uintptr_t>(C.Mem.get());
+    C.Base = reinterpret_cast<uint8_t *>((Raw + 15) & ~uintptr_t(15));
+    C.Bytes = NewChunk - 16;
+    Cur = C.Base;
+    Limit = C.Base + C.Bytes;
+    Chunks.push_back(std::move(C));
   }
   uint8_t *Result = Cur;
   Cur += Bytes;
   Used.fetch_add(Bytes, std::memory_order_relaxed);
   return Result;
+}
+
+bool OldSpace::contains(const void *P) {
+  auto *B = static_cast<const uint8_t *>(P);
+  SpinLockGuard Guard(Lock);
+  for (const Chunk &C : Chunks) {
+    // Only the allocated prefix of the current chunk counts.
+    uint8_t *End = C.Base + C.Bytes == Limit ? Cur : C.Base + C.Bytes;
+    if (B >= C.Base && B < End)
+      return true;
+  }
+  return false;
 }

@@ -92,10 +92,20 @@ public:
   /// \returns total bytes allocated from old space.
   size_t used() const { return Used.load(std::memory_order_relaxed); }
 
+  /// \returns true when \p P points into any old-space chunk. Heap
+  /// verification support; takes the allocation lock.
+  bool contains(const void *P);
+
 private:
+  struct Chunk {
+    std::unique_ptr<uint8_t[]> Mem;
+    uint8_t *Base = nullptr; // 16-aligned usable start
+    size_t Bytes = 0;        // usable length
+  };
+
   size_t ChunkBytes;
   SpinLock Lock;
-  std::vector<std::unique_ptr<uint8_t[]>> Chunks;
+  std::vector<Chunk> Chunks;
   uint8_t *Cur = nullptr;
   uint8_t *Limit = nullptr;
   std::atomic<size_t> Used{0};

@@ -1,0 +1,132 @@
+//===-- vkernel/Chaos.h - Seeded schedule-chaos engine ----------*- C++ -*-===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic fault/schedule injection for the concurrency kernel. The
+/// host scheduler only ever shows us the "lucky" interleavings, so races
+/// in the SpinLock/Safepoint/IpcChannel/Scheduler protocols can hide
+/// indefinitely. Every concurrency-critical boundary calls a named
+/// `chaos::point("...")`; when the engine is enabled it probabilistically
+/// yields the processor, sleeps a few microseconds, or forces a kernel
+/// Delay there, widening race windows by orders of magnitude.
+///
+/// Properties the stress suite depends on:
+///  - **Disabled is free**: `point()` compiles to one relaxed load and a
+///    predicted branch. No registration, no allocation, nothing.
+///  - **Reproducible**: all randomness flows from one SplitMix64 seed.
+///    Each thread draws from its own stream, derived from the seed and
+///    the thread's *ordinal* — so a thread's decision sequence depends
+///    only on (seed, ordinal), never on cross-thread timing. Rerunning
+///    with the same seed replays the identical perturbation sequence.
+///  - **No hidden synchronization**: the hot path and the per-point
+///    statistics use only relaxed atomics. A mutex here would create
+///    happens-before edges that *mask* exactly the races this engine
+///    exists to expose (TSan would never see them).
+///
+/// Seeds come from `--chaos-seed=N` on the repl / bench binaries or the
+/// `MST_CHAOS_SEED` environment variable (see enableFromEnv()); a failing
+/// stress test prints the seed that provoked it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MST_VKERNEL_CHAOS_H
+#define MST_VKERNEL_CHAOS_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mst {
+namespace chaos {
+
+/// What a chaos point did. None is the only possible answer while the
+/// engine is disabled.
+enum class Action : uint8_t {
+  None,  ///< no perturbation
+  Yield, ///< gave up the processor (std::this_thread::yield)
+  Sleep, ///< slept 1..MaxSleepMicros microseconds
+  Delay, ///< invoked the kernel Delay with a minimal timeout (vkDelay(0))
+};
+
+/// Engine configuration. The three per-mille fields are per-point
+/// probabilities and must sum to at most 1000; the remainder is "do
+/// nothing". Defaults perturb ~15% of points — enough to scramble
+/// interleavings without grinding workloads to a halt.
+struct Config {
+  uint64_t Seed = 1;
+  uint32_t YieldPermille = 100;
+  uint32_t SleepPermille = 40;
+  uint32_t DelayPermille = 10;
+  /// Inclusive upper bound on Sleep durations, in microseconds.
+  uint32_t MaxSleepMicros = 50;
+};
+
+namespace detail {
+/// The master switch. Read relaxed on every point() — the entire cost of
+/// the engine when disabled.
+extern std::atomic<bool> On;
+
+/// Slow path, only reached while enabled.
+Action perturb(const char *Point);
+} // namespace detail
+
+/// The injection point. Call at every concurrency-critical boundary with
+/// a string-literal name ("spinlock.acquire", "ipc.send", ...).
+/// \returns the action taken (None when disabled).
+inline Action point(const char *Point) {
+  if (!detail::On.load(std::memory_order_relaxed))
+    return Action::None;
+  return detail::perturb(Point);
+}
+
+/// Enables the engine with \p C. Reseeds every thread's stream (threads
+/// re-derive their state from the new seed at their next point).
+/// Resets the per-point statistics.
+void enable(const Config &C);
+
+/// Enables with default probabilities and the given seed.
+void enableSeed(uint64_t Seed);
+
+/// Disables the engine. point() returns to its one-load fast path.
+void disable();
+
+/// \returns true when the engine is currently perturbing.
+bool enabled();
+
+/// \returns the active (or most recently active) configuration.
+Config config();
+
+/// Reads MST_CHAOS_SEED (and the optional MST_CHAOS_YIELD_PM /
+/// MST_CHAOS_SLEEP_PM / MST_CHAOS_DELAY_PM / MST_CHAOS_MAX_SLEEP_US
+/// overrides) and enables the engine when a seed is present.
+/// \returns true when chaos was enabled from the environment.
+bool enableFromEnv();
+
+/// Fixes the calling thread's stream ordinal. Threads that never call
+/// this get a process-unique ordinal at first use (deterministic only if
+/// thread creation order is); tests that assert exact replay pin
+/// ordinals explicitly.
+void setThreadOrdinal(uint64_t Ordinal);
+
+/// \returns the total number of perturbations (non-None actions) taken
+/// since the last enable().
+uint64_t perturbationCount();
+
+/// \returns every point name seen since the last enable(), with the
+/// number of times the point was *hit* (whatever the action), sorted by
+/// name. Test support: asserts that the injection points a workload
+/// should cross were actually exercised.
+std::vector<std::pair<std::string, uint64_t>> pointCounts();
+
+/// \returns just the names from pointCounts().
+std::vector<std::string> pointCatalog();
+
+} // namespace chaos
+} // namespace mst
+
+#endif // MST_VKERNEL_CHAOS_H

@@ -6,44 +6,68 @@
 
 #include "vkernel/IpcChannel.h"
 
+#include <algorithm>
+
 #include "obs/TraceBuffer.h"
 #include "support/Assert.h"
+#include "vkernel/Chaos.h"
 
 using namespace mst;
+
+IpcChannel::~IpcChannel() {
+  shutdown();
+  // A waiter that has been woken still needs the mutex to leave its wait;
+  // destroying the members out from under it would be a use-after-free.
+  std::unique_lock<std::mutex> Lock(Mutex);
+  Drained.wait(Lock, [this] { return Waiters == 0; });
+}
 
 uint64_t IpcChannel::send(uint64_t Request) {
   // The span covers the full synchronous round trip: enqueue, the
   // receiver's service time, and the reply wakeup.
   TraceSpan Span("ipc.send", "ipc");
   Span.setArg(Request);
+  chaos::point("ipc.send");
   Message Msg;
   Msg.Request = Request;
   std::unique_lock<std::mutex> Lock(Mutex);
+  if (ShuttingDown)
+    return ShutdownResponse;
   Queue.push_back(&Msg);
   Arrived.notify_one();
+  ++Waiters;
   Msg.Cv.wait(Lock, [&Msg] { return Msg.Replied; });
+  if (--Waiters == 0 && ShuttingDown)
+    Drained.notify_all();
   return Msg.Response;
 }
 
 IpcChannel::MessageHandle IpcChannel::receive(uint64_t &Request) {
   TraceSpan Span("ipc.receive", "ipc");
+  chaos::point("ipc.receive");
   std::unique_lock<std::mutex> Lock(Mutex);
-  Arrived.wait(Lock, [this] { return !Queue.empty(); });
+  ++Waiters;
+  Arrived.wait(Lock, [this] { return !Queue.empty() || ShuttingDown; });
+  if (--Waiters == 0 && ShuttingDown)
+    Drained.notify_all();
+  if (Queue.empty()) // Woken by shutdown, nothing to receive.
+    return nullptr;
   Message *Msg = Queue.front();
   Queue.pop_front();
-  ++AwaitingReply;
+  InFlight.push_back(Msg);
   Request = Msg->Request;
   Span.setArg(Request);
   return Msg;
 }
 
 IpcChannel::MessageHandle IpcChannel::tryReceive(uint64_t &Request) {
+  chaos::point("ipc.receive");
   std::unique_lock<std::mutex> Lock(Mutex);
   if (Queue.empty())
     return nullptr;
   Message *Msg = Queue.front();
   Queue.pop_front();
-  ++AwaitingReply;
+  InFlight.push_back(Msg);
   Request = Msg->Request;
   return Msg;
 }
@@ -52,15 +76,55 @@ void IpcChannel::reply(MessageHandle Handle, uint64_t Response) {
   assert(Handle && "reply() needs a handle from receive()");
   auto *Msg = static_cast<Message *>(Handle);
   traceInstant("ipc.reply", "ipc", Response);
+  chaos::point("ipc.reply");
   std::unique_lock<std::mutex> Lock(Mutex);
-  assert(AwaitingReply > 0 && "reply() without matching receive()");
-  --AwaitingReply;
+  // After shutdown the sender was already released with ShutdownResponse
+  // and its stack-resident Message may be gone — the handle must not be
+  // dereferenced unless it is still in flight.
+  auto It = std::find(InFlight.begin(), InFlight.end(), Msg);
+  if (It == InFlight.end()) {
+    assert(ShuttingDown && "reply() without matching receive()");
+    return;
+  }
+  InFlight.erase(It);
   Msg->Response = Response;
   Msg->Replied = true;
   Msg->Cv.notify_one();
 }
 
+void IpcChannel::shutdown() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  if (ShuttingDown)
+    return;
+  ShuttingDown = true;
+  // Release every sender: queued messages never got received, in-flight
+  // ones never got replied. Both get ShutdownResponse.
+  for (Message *Msg : Queue) {
+    Msg->Response = ShutdownResponse;
+    Msg->Replied = true;
+    Msg->Cv.notify_one();
+  }
+  Queue.clear();
+  for (Message *Msg : InFlight) {
+    Msg->Response = ShutdownResponse;
+    Msg->Replied = true;
+    Msg->Cv.notify_one();
+  }
+  InFlight.clear();
+  Arrived.notify_all();
+}
+
+bool IpcChannel::isShutdown() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  return ShuttingDown;
+}
+
 unsigned IpcChannel::pendingSenders() {
   std::unique_lock<std::mutex> Lock(Mutex);
-  return static_cast<unsigned>(Queue.size()) + AwaitingReply;
+  return static_cast<unsigned>(Queue.size() + InFlight.size());
+}
+
+unsigned IpcChannel::waiters() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  return Waiters;
 }

@@ -7,6 +7,7 @@
 #include "vkernel/SpinLock.h"
 
 #include "obs/TraceBuffer.h"
+#include "vkernel/Chaos.h"
 #include "vkernel/Delay.h"
 
 using namespace mst;
@@ -29,8 +30,11 @@ void SpinLock::lock() {
   if (!Enabled)
     return;
   Acquisitions.add();
-  if (Flag.exchange(1, std::memory_order_acquire) == 0)
+  chaos::point("spinlock.acquire");
+  if (Flag.exchange(1, std::memory_order_acquire) == 0) {
+    chaos::point("spinlock.acquired");
     return;
+  }
   Contended.add();
   // The wait shows up on the timeline: a span named after the lock, in the
   // "lock" category, covering the whole contended acquisition.
@@ -46,7 +50,9 @@ void SpinLock::lock() {
         vkDelay(/*Micros=*/0);
       }
     }
-    if (Flag.exchange(1, std::memory_order_acquire) == 0)
+    if (Flag.exchange(1, std::memory_order_acquire) == 0) {
+      chaos::point("spinlock.acquired");
       return;
+    }
   }
 }

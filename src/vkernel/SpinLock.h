@@ -26,6 +26,7 @@
 #include <cstdint>
 
 #include "obs/Telemetry.h"
+#include "vkernel/Chaos.h"
 
 namespace mst {
 
@@ -61,10 +62,13 @@ public:
   bool tryLock() {
     if (!Enabled)
       return true;
+    chaos::point("spinlock.trylock");
     bool Ok = Flag.exchange(1, std::memory_order_acquire) == 0;
     Acquisitions.add();
     if (!Ok)
       Contended.add();
+    else
+      chaos::point("spinlock.acquired");
     return Ok;
   }
 

@@ -8,6 +8,7 @@
 
 #include "objmem/ObjectHeader.h"
 #include "support/Assert.h"
+#include "vkernel/Chaos.h"
 #include "vm/ObjectModel.h"
 
 using namespace mst;
@@ -24,6 +25,7 @@ FreeContextPool::FreeContextPool(FreeContextKind Kind,
 
 Oop FreeContextPool::take(unsigned InterpId, uint32_t Slots) {
   assert(Slots <= LargeContextSlots && "oversized context request");
+  chaos::point("freectx.take");
   Bins &B = binsFor(InterpId);
   std::vector<Oop> &List = Slots <= SmallContextSlots ? B.Small : B.Large;
   SpinLockGuard Guard(B.Lock);
@@ -43,6 +45,7 @@ void FreeContextPool::give(unsigned InterpId, Oop Ctx) {
   // remembered-set maintenance on every reuse for no benefit.
   if (H->isOld())
     return;
+  chaos::point("freectx.give");
   Bins &B = binsFor(InterpId);
   std::vector<Oop> &List =
       H->SlotCount <= SmallContextSlots ? B.Small : B.Large;

@@ -6,6 +6,7 @@
 
 #include "vm/Interpreter.h"
 
+#include <atomic>
 #include <cstdlib>
 
 #include "obs/TraceBuffer.h"
@@ -69,22 +70,42 @@ void Interpreter::dropValues(unsigned N) {
 
 /// --- variable access --------------------------------------------------
 
+/// Home-context temps and receiver ivars are shared between interpreters
+/// (a forked block and its enclosing method run concurrently against the
+/// same home context) with no lock, by the paper's design. Acquire/release
+/// cell access keeps the words untorn and orders a freshly allocated
+/// object's header initialization before use by whoever observes its oop
+/// through a shared slot; on x86 both compile to plain moves.
+static Oop loadSlotAcquire(const ObjectHeader *H, uint32_t Idx) {
+  const uintptr_t &Cell =
+      reinterpret_cast<const uintptr_t *>(H->slots())[Idx];
+  return Oop::fromBits(std::atomic_ref<const uintptr_t>(Cell).load(
+      std::memory_order_acquire));
+}
+
+static void storeSlotRelease(ObjectHeader *H, uint32_t Idx, Oop V) {
+  uintptr_t &Cell = reinterpret_cast<uintptr_t *>(H->slots())[Idx];
+  std::atomic_ref<uintptr_t>(Cell).store(V.bits(), std::memory_order_release);
+}
+
 Oop Interpreter::fetchTemp(unsigned Idx) {
-  return HomeH->slots()[CtxFixedSlots + Idx];
+  return loadSlotAcquire(HomeH, CtxFixedSlots + Idx);
 }
 
 void Interpreter::storeTempValue(unsigned Idx, Oop V) {
-  HomeH->slots()[CtxFixedSlots + Idx] = V;
+  storeSlotRelease(HomeH, CtxFixedSlots + Idx, V);
   OM.writeBarrier(HomeH, V);
 }
 
-Oop Interpreter::receiver() { return HomeH->slots()[CtxReceiver]; }
+Oop Interpreter::receiver() {
+  return loadSlotAcquire(HomeH, CtxReceiver);
+}
 
 Oop Interpreter::fetchIvar(unsigned Idx) {
   Oop R = receiver();
   assert(R.isPointer() && Idx < R.object()->SlotCount &&
          "instance variable access out of range");
-  return R.object()->slots()[Idx];
+  return loadSlotAcquire(R.object(), Idx);
 }
 
 void Interpreter::storeIvar(unsigned Idx, Oop V) {

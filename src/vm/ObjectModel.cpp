@@ -531,7 +531,7 @@ Oop ObjectModel::globalAssociation(const std::string &Name,
     uint32_t Cap = T->SlotCount;
     uint32_t I = static_cast<uint32_t>(Key.object()->Hash) % Cap;
     for (uint32_t Probes = 0; Probes < Cap; ++Probes) {
-      Oop Assoc = T->slots()[I];
+      Oop Assoc = ObjectMemory::fetchPointer(Table, I);
       if (Assoc == K.NilObj)
         break;
       if (ObjectMemory::fetchPointer(Assoc, AssocKey) == Key)

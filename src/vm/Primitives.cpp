@@ -15,6 +15,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include <atomic>
 #include <cstring>
 
 #include "support/Assert.h"
@@ -25,6 +26,33 @@
 #include "vm/VirtualMachine.h"
 
 using namespace mst;
+
+namespace {
+
+/// Byte objects (Strings, the shared display buffer) are accessed from
+/// several Smalltalk processes with no lock, by the paper's design. Relaxed
+/// per-byte atomics keep concurrent access untorn without imposing
+/// ordering; memcpy/memmove would be plain accesses racing a concurrent
+/// at:put: store.
+uint8_t loadByteRelaxed(const uint8_t *P) {
+  return std::atomic_ref<const uint8_t>(*P).load(std::memory_order_relaxed);
+}
+
+void storeByteRelaxed(uint8_t *P, uint8_t V) {
+  std::atomic_ref<uint8_t>(*P).store(V, std::memory_order_relaxed);
+}
+
+/// memmove semantics: handles overlap by picking the copy direction.
+void copyBytesRelaxed(uint8_t *Dst, const uint8_t *Src, size_t N) {
+  if (Dst <= Src)
+    for (size_t I = 0; I < N; ++I)
+      storeByteRelaxed(Dst + I, loadByteRelaxed(Src + I));
+  else
+    for (size_t I = N; I > 0; --I)
+      storeByteRelaxed(Dst + I - 1, loadByteRelaxed(Src + I - 1));
+}
+
+} // namespace
 
 Interpreter::PrimResult Interpreter::dispatchPrimitive(int Index,
                                                        unsigned Argc) {
@@ -49,7 +77,7 @@ Interpreter::PrimResult Interpreter::dispatchPrimitive(int Index,
     if (H->Format == ObjectFormat::Bytes) {
       if (Idx < 1 || Idx > static_cast<intptr_t>(H->ByteLength))
         return PrimResult::Fail;
-      uint8_t Byte = H->bytes()[Idx - 1];
+      uint8_t Byte = loadByteRelaxed(&H->bytes()[Idx - 1]);
       bool IsStr = Om.isKindOf(Recv, K.ClassString);
       return Replace(IsStr ? Om.characterFor(Byte)
                            : Oop::fromSmallInt(Byte));
@@ -62,7 +90,8 @@ Interpreter::PrimResult Interpreter::dispatchPrimitive(int Index,
       if (Idx < 1 ||
           Idx > static_cast<intptr_t>(H->SlotCount - Fixed))
         return PrimResult::Fail;
-      return Replace(H->slots()[Fixed + Idx - 1]);
+      return Replace(ObjectMemory::fetchPointer(
+          Recv, Fixed + static_cast<uint32_t>(Idx) - 1));
     }
     return PrimResult::Fail;
   }
@@ -86,7 +115,7 @@ Interpreter::PrimResult Interpreter::dispatchPrimitive(int Index,
         return PrimResult::Fail;
       if (Byte < 0 || Byte > 255)
         return PrimResult::Fail;
-      H->bytes()[Idx - 1] = static_cast<uint8_t>(Byte);
+      storeByteRelaxed(&H->bytes()[Idx - 1], static_cast<uint8_t>(Byte));
       return Replace(Val);
     }
     if (H->Format == ObjectFormat::Pointers) {
@@ -159,14 +188,14 @@ Interpreter::PrimResult Interpreter::dispatchPrimitive(int Index,
       reloadFrame();
       // Refetch the receiver: the allocation may have moved it.
       Oop Src = topValue(Argc);
-      std::memcpy(Copy.object()->bytes(), Src.object()->bytes(),
-                  Src.object()->ByteLength);
+      copyBytesRelaxed(Copy.object()->bytes(), Src.object()->bytes(),
+                       Src.object()->ByteLength);
     } else {
       Copy = OM.allocatePointers(Om.classOf(Recv), H->SlotCount);
       reloadFrame();
       Oop Src = topValue(Argc);
       for (uint32_t I = 0; I < Src.object()->SlotCount; ++I)
-        OM.storePointer(Copy, I, Src.object()->slots()[I]);
+        OM.storePointer(Copy, I, ObjectMemory::fetchPointer(Src, I));
     }
     return Replace(Copy);
   }
@@ -190,8 +219,8 @@ Interpreter::PrimResult Interpreter::dispatchPrimitive(int Index,
       if (Stop > static_cast<intptr_t>(D->ByteLength) ||
           SrcStart + Count - 1 > static_cast<intptr_t>(S->ByteLength))
         return PrimResult::Fail;
-      std::memmove(D->bytes() + Start - 1, S->bytes() + SrcStart - 1,
-                   static_cast<size_t>(Count));
+      copyBytesRelaxed(D->bytes() + Start - 1, S->bytes() + SrcStart - 1,
+                       static_cast<size_t>(Count));
       return Replace(Recv);
     }
     if (D->Format == ObjectFormat::Pointers &&
@@ -205,8 +234,10 @@ Interpreter::PrimResult Interpreter::dispatchPrimitive(int Index,
           SrcStart + Count - 1 > static_cast<intptr_t>(S->SlotCount - SF))
         return PrimResult::Fail;
       for (intptr_t I = 0; I < Count; ++I)
-        OM.storePointer(Recv, DF + static_cast<uint32_t>(Start - 1 + I),
-                        S->slots()[SF + SrcStart - 1 + I]);
+        OM.storePointer(
+            Recv, DF + static_cast<uint32_t>(Start - 1 + I),
+            ObjectMemory::fetchPointer(
+                Src, static_cast<uint32_t>(SF + SrcStart - 1 + I)));
       return Replace(Recv);
     }
     return PrimResult::Fail;

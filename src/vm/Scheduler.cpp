@@ -9,6 +9,7 @@
 #include <chrono>
 
 #include "support/Assert.h"
+#include "vkernel/Chaos.h"
 
 using namespace mst;
 
@@ -114,6 +115,7 @@ void Scheduler::addReadyProcess(Oop Proc) {
 }
 
 Oop Scheduler::pickProcessToRun() {
+  chaos::point("sched.dispatch");
   SpinLockGuard Guard(Lock);
   Oop Nil = Om.nil();
   Oop Lists = ObjectMemory::fetchPointer(Om.known().Processor,
@@ -226,6 +228,7 @@ bool Scheduler::releaseAfterSlice(Oop Proc) {
 }
 
 void Scheduler::waitForWork() {
+  chaos::point("sched.wait");
   std::unique_lock<std::mutex> Idle(IdleMutex);
   uint64_t Seen = WorkEpoch;
   IdleCv.wait_for(Idle, std::chrono::milliseconds(1),
@@ -233,6 +236,7 @@ void Scheduler::waitForWork() {
 }
 
 void Scheduler::notifyWork() {
+  chaos::point("sched.notify");
   std::lock_guard<std::mutex> Idle(IdleMutex);
   ++WorkEpoch;
   IdleCv.notify_all();

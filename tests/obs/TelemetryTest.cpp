@@ -23,6 +23,7 @@
 #include "obs/Histogram.h"
 #include "obs/Telemetry.h"
 #include "obs/TraceBuffer.h"
+#include "vkernel/Chaos.h"
 #include "vkernel/SpinLock.h"
 
 using namespace mst;
@@ -352,6 +353,87 @@ TEST(TelemetryTest, SnapshotJsonIsWellFormed) {
   EXPECT_TRUE(JsonChecker(Json).valid()) << Json.substr(0, 400);
   EXPECT_NE(Json.find("\"counters\""), std::string::npos);
   EXPECT_NE(Json.find("\"histograms\""), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Telemetry under schedule chaos
+//===----------------------------------------------------------------------===//
+
+/// Enables the chaos engine for one scope, restoring the quiet default on
+/// the way out (aggressive probabilities: telemetry ops are cheap, so a
+/// high perturbation rate still finishes quickly).
+class ChaosScope {
+public:
+  ChaosScope() {
+    chaos::Config Cfg;
+    Cfg.Seed = 42;
+    Cfg.YieldPermille = 300;
+    Cfg.SleepPermille = 100;
+    Cfg.MaxSleepMicros = 20;
+    chaos::enable(Cfg);
+  }
+  ~ChaosScope() { chaos::disable(); }
+};
+
+TEST(TelemetryTest, CountersStayExactUnderChaos) {
+  // Striped counters must lose no increments however rudely the threads
+  // are interleaved between their updates.
+  ChaosScope Chaos;
+  Counter C("test.chaos.counter");
+  Histogram H("test.chaos.hist");
+  constexpr unsigned Threads = 4;
+  constexpr uint64_t PerThread = 2000;
+  std::vector<std::thread> Ts;
+  for (unsigned T = 0; T < Threads; ++T)
+    Ts.emplace_back([&C, &H, T] {
+      chaos::setThreadOrdinal(T + 1);
+      for (uint64_t K = 0; K < PerThread; ++K) {
+        chaos::point("test.telemetry.tick");
+        C.add();
+        H.record(K + 1);
+      }
+    });
+  for (auto &T : Ts)
+    T.join();
+  EXPECT_EQ(C.value(), Threads * PerThread);
+  EXPECT_EQ(counterOf(Telemetry::snapshot(), "test.chaos.counter"),
+            Threads * PerThread);
+  EXPECT_EQ(H.count(), Threads * PerThread);
+  EXPECT_EQ(H.max(), PerThread);
+}
+
+TEST_F(TracingTest, RingWrapUnderChaosKeepsExportWellFormed) {
+  // Several perturbed threads flood their trace rings past wraparound
+  // while a counter tracks how many events were written; the merged
+  // export must stay parseable and the rings must hold exactly their
+  // capacity — a torn wrap would show up as either.
+  ChaosScope Chaos;
+  Counter Written("test.chaos.traced");
+  constexpr unsigned Threads = 3;
+  const size_t PerThread = TraceRingCapacity + 64;
+  std::vector<std::thread> Ts;
+  for (unsigned T = 0; T < Threads; ++T)
+    Ts.emplace_back([&Written, T, PerThread] {
+      chaos::setThreadOrdinal(T + 10);
+      setTraceThreadInfo("chaos", T);
+      for (size_t I = 0; I < PerThread; ++I) {
+        if (I % 3 == 0) {
+          TraceSpan S("test.chaos.span", "test");
+          S.setArg(I);
+        } else {
+          traceInstant("test.chaos.instant", "test", I);
+        }
+        chaos::point("test.telemetry.trace");
+        Written.add();
+      }
+    });
+  for (auto &T : Ts)
+    T.join();
+  EXPECT_EQ(Written.value(), uint64_t(Threads) * PerThread);
+  // Each thread's ring wrapped and kept the newest TraceRingCapacity.
+  EXPECT_EQ(traceEventCount(), Threads * TraceRingCapacity);
+  std::string Json = chromeTraceJson();
+  EXPECT_TRUE(JsonChecker(Json).valid()) << Json.substr(0, 400);
 }
 
 //===----------------------------------------------------------------------===//

@@ -1,0 +1,177 @@
+//===-- tests/stress/ChaosScheduleTest.cpp - Chaos engine itself ----------===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The chaos engine's own contract: disabled means inert, same seed means
+/// the same perturbation schedule, different seeds diverge, and a thread's
+/// decisions depend only on (seed, ordinal) — never on what other threads
+/// did. Everything else in the stress suite leans on these properties.
+///
+//===----------------------------------------------------------------------===//
+
+#include <algorithm>
+#include <cstdlib>
+#include <thread>
+
+#include "StressSupport.h"
+
+using namespace mst;
+using chaos::Action;
+
+namespace {
+
+/// Records the actions of \p N consecutive hits of one point.
+std::vector<Action> record(int N, const char *Point = "chaos.test.point") {
+  std::vector<Action> Out;
+  Out.reserve(static_cast<size_t>(N));
+  for (int I = 0; I < N; ++I)
+    Out.push_back(chaos::point(Point));
+  return Out;
+}
+
+TEST(ChaosScheduleTest, DisabledPointDoesNothing) {
+  chaos::disable();
+  EXPECT_FALSE(chaos::enabled());
+  uint64_t Before = chaos::perturbationCount();
+  for (Action A : record(100))
+    EXPECT_EQ(A, Action::None);
+  EXPECT_EQ(chaos::perturbationCount(), Before);
+}
+
+TEST(ChaosScheduleTest, SameSeedReplaysIdenticalSchedule) {
+  chaos::setThreadOrdinal(5);
+  std::vector<Action> First, Second;
+  {
+    ScopedChaos C(42);
+    First = record(300);
+  }
+  {
+    ScopedChaos C(42);
+    Second = record(300);
+  }
+  EXPECT_EQ(First, Second);
+  // The schedule is non-trivial: the default config perturbs ~15% of hits.
+  int NonNone = 0;
+  for (Action A : First)
+    NonNone += A != Action::None;
+  EXPECT_GT(NonNone, 0);
+}
+
+TEST(ChaosScheduleTest, DifferentSeedsDiverge) {
+  chaos::setThreadOrdinal(5);
+  std::vector<Action> A, B;
+  {
+    ScopedChaos C(42);
+    A = record(300);
+  }
+  {
+    ScopedChaos C(43);
+    B = record(300);
+  }
+  EXPECT_NE(A, B);
+}
+
+TEST(ChaosScheduleTest, DecisionsDependOnlyOnSeedAndOrdinal) {
+  // Record ordinal 9's schedule on this thread, then replay it from a
+  // different thread that drew after this thread consumed part of its own
+  // stream — cross-thread timing must not leak into either schedule.
+  std::vector<Action> Here, There;
+  {
+    ScopedChaos C(1234);
+    chaos::setThreadOrdinal(9);
+    Here = record(200);
+    std::thread T([&There] {
+      chaos::setThreadOrdinal(9);
+      There = record(200);
+    });
+    T.join();
+  }
+  EXPECT_EQ(Here, There);
+}
+
+TEST(ChaosScheduleTest, DistinctOrdinalsGetDistinctStreams) {
+  std::vector<Action> Ord1, Ord2;
+  {
+    ScopedChaos C(77);
+    chaos::setThreadOrdinal(1);
+    Ord1 = record(300);
+  }
+  {
+    ScopedChaos C(77);
+    chaos::setThreadOrdinal(2);
+    Ord2 = record(300);
+  }
+  EXPECT_NE(Ord1, Ord2);
+}
+
+TEST(ChaosScheduleTest, PointCountsTrackEveryHit) {
+  ScopedChaos C(3);
+  chaos::setThreadOrdinal(1);
+  record(50, "chaos.test.counted");
+  bool Found = false;
+  for (auto &[Name, Hits] : chaos::pointCounts()) {
+    if (Name == "chaos.test.counted") {
+      Found = true;
+      EXPECT_EQ(Hits, 50u);
+    }
+  }
+  EXPECT_TRUE(Found);
+  auto Catalog = chaos::pointCatalog();
+  EXPECT_NE(std::find(Catalog.begin(), Catalog.end(), "chaos.test.counted"),
+            Catalog.end());
+}
+
+TEST(ChaosScheduleTest, SaturatedYieldProbabilityAlwaysYields) {
+  chaos::Config Cfg;
+  Cfg.Seed = 9;
+  Cfg.YieldPermille = 1000;
+  Cfg.SleepPermille = 0;
+  Cfg.DelayPermille = 0;
+  ScopedChaos C(Cfg);
+  chaos::setThreadOrdinal(1);
+  for (Action A : record(100))
+    EXPECT_EQ(A, Action::Yield);
+  EXPECT_GE(chaos::perturbationCount(), 100u);
+}
+
+TEST(ChaosScheduleTest, EnableFromEnvReadsSeedAndOverrides) {
+  ASSERT_EQ(setenv("MST_CHAOS_SEED", "0x2a", 1), 0);
+  ASSERT_EQ(setenv("MST_CHAOS_YIELD_PM", "250", 1), 0);
+  ASSERT_EQ(setenv("MST_CHAOS_MAX_SLEEP_US", "5", 1), 0);
+  EXPECT_TRUE(chaos::enableFromEnv());
+  chaos::Config Cfg = chaos::config();
+  EXPECT_EQ(Cfg.Seed, 42u);
+  EXPECT_EQ(Cfg.YieldPermille, 250u);
+  EXPECT_EQ(Cfg.MaxSleepMicros, 5u);
+  chaos::disable();
+  unsetenv("MST_CHAOS_SEED");
+  unsetenv("MST_CHAOS_YIELD_PM");
+  unsetenv("MST_CHAOS_MAX_SLEEP_US");
+  EXPECT_FALSE(chaos::enableFromEnv());
+}
+
+TEST(ChaosScheduleTest, ManyThreadsPerturbConcurrently) {
+  // Smoke the engine's own thread-safety (this is what the TSan leg of
+  // the matrix actually checks): many threads hammering shared points.
+  ScopedChaos C(11);
+  const int Threads = 8;
+  const int Iters = stressScale(2000, 300);
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < Threads; ++T)
+    Ts.emplace_back([Iters] {
+      for (int I = 0; I < Iters; ++I)
+        chaos::point("chaos.test.concurrent");
+    });
+  for (auto &T : Ts)
+    T.join();
+  for (auto &[Name, Hits] : chaos::pointCounts()) {
+    if (Name == "chaos.test.concurrent") {
+      EXPECT_EQ(Hits, static_cast<uint64_t>(Threads) * Iters);
+    }
+  }
+}
+
+} // namespace

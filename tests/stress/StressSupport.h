@@ -1,0 +1,76 @@
+//===-- tests/stress/StressSupport.h - Chaos-suite helpers ------*- C++ -*-===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared helpers for the schedule-chaos stress suite: seed sweeps, scoped
+/// chaos enablement, and sanitizer-aware workload scaling. Every loop over
+/// seeds uses SCOPED_TRACE so a failure names the seed that provoked it —
+/// rerun with MST_CHAOS_SEED=<seed> to replay that schedule.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MST_TESTS_STRESS_STRESSSUPPORT_H
+#define MST_TESTS_STRESS_STRESSSUPPORT_H
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "vkernel/Chaos.h"
+
+// Sanitized builds run 10-20x slower; the suite shrinks its iteration
+// counts so the full matrix stays in CI budget.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define MST_UNDER_SANITIZER 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define MST_UNDER_SANITIZER 1
+#endif
+#endif
+
+namespace mst {
+
+/// \returns \p Full normally, \p Sanitized under TSan/ASan.
+inline int stressScale(int Full, int Sanitized) {
+#ifdef MST_UNDER_SANITIZER
+  (void)Full;
+  return Sanitized;
+#else
+  (void)Sanitized;
+  return Full;
+#endif
+}
+
+/// The seeds every stress test sweeps. MST_CHAOS_SEED narrows the sweep to
+/// one seed — the replay knob a failure report points at.
+inline std::vector<uint64_t> chaosSeeds() {
+  if (const char *S = std::getenv("MST_CHAOS_SEED"))
+    return {std::strtoull(S, nullptr, 0)};
+  return {1, 7, 42};
+}
+
+/// Enables chaos for one scope; always disables on exit so a failing
+/// assertion cannot leak perturbation into the next test.
+class ScopedChaos {
+public:
+  explicit ScopedChaos(uint64_t Seed) { chaos::enableSeed(Seed); }
+  explicit ScopedChaos(const chaos::Config &C) { chaos::enable(C); }
+  ~ScopedChaos() { chaos::disable(); }
+
+  ScopedChaos(const ScopedChaos &) = delete;
+  ScopedChaos &operator=(const ScopedChaos &) = delete;
+};
+
+/// Trace tag naming the active seed, e.g. "chaos-seed=42".
+inline std::string seedTag(uint64_t Seed) {
+  return "chaos-seed=" + std::to_string(Seed);
+}
+
+} // namespace mst
+
+#endif // MST_TESTS_STRESS_STRESSSUPPORT_H

@@ -4,6 +4,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include <atomic>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -80,6 +82,63 @@ TEST(IpcChannelTest, RendezvousStyleGathering) {
   for (auto &T : Mutators)
     T.join();
   EXPECT_EQ(Released.load(), N);
+}
+
+TEST(IpcChannelTest, DestructionWakesBlockedReceiver) {
+  // Regression: destroying a channel while a receiver is parked in
+  // receive() used to leave it blocked forever (and the destructor tore
+  // the condvar out from under it). The receiver must wake with nullptr.
+  auto Chan = std::make_unique<IpcChannel>();
+  std::thread Receiver([&Chan] {
+    uint64_t Req = 0;
+    EXPECT_EQ(Chan->receive(Req), nullptr);
+  });
+  // Wait until the receiver is parked *inside* receive(); destroying the
+  // channel under a thread still on its way in would be caller error.
+  while (Chan->waiters() != 1)
+    std::this_thread::yield();
+  Chan.reset();
+  Receiver.join();
+}
+
+TEST(IpcChannelTest, ShutdownReleasesBlockedSenderWithStatus) {
+  IpcChannel Chan;
+  std::thread Sender([&Chan] {
+    EXPECT_EQ(Chan.send(9), IpcChannel::ShutdownResponse);
+  });
+  while (Chan.pendingSenders() == 0)
+    std::this_thread::yield();
+  Chan.shutdown();
+  Sender.join();
+  EXPECT_TRUE(Chan.isShutdown());
+  EXPECT_EQ(Chan.pendingSenders(), 0u);
+}
+
+TEST(IpcChannelTest, SendAfterShutdownReturnsShutdownResponse) {
+  IpcChannel Chan;
+  Chan.shutdown();
+  EXPECT_EQ(Chan.send(1), IpcChannel::ShutdownResponse);
+  uint64_t Req = 0;
+  EXPECT_EQ(Chan.receive(Req), nullptr);
+  EXPECT_EQ(Chan.tryReceive(Req), nullptr);
+}
+
+TEST(IpcChannelTest, ReplyAfterShutdownIsSafeNoOp) {
+  // A receiver that gathered a message before shutdown may still try to
+  // reply afterwards; the sender has already been released and its stack
+  // message reclaimed, so the reply must touch nothing.
+  IpcChannel Chan;
+  std::thread Sender([&Chan] {
+    EXPECT_EQ(Chan.send(3), IpcChannel::ShutdownResponse);
+  });
+  uint64_t Req = 0;
+  IpcChannel::MessageHandle H = Chan.receive(Req);
+  ASSERT_NE(H, nullptr);
+  EXPECT_EQ(Req, 3u);
+  Chan.shutdown();
+  Sender.join();
+  Chan.reply(H, 123); // no-op, not a use-after-free
+  EXPECT_EQ(Chan.pendingSenders(), 0u);
 }
 
 } // namespace

@@ -15,6 +15,23 @@ using namespace mst;
 
 namespace {
 
+/// Iteration budget scaled for sanitized builds (TSan runs ~10x slower;
+/// the suite asserts counter identities, never wall-clock, so shrinking
+/// the workload loses nothing).
+int perThreadIters() {
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+  return 3000;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+  return 3000;
+#else
+  return 20000;
+#endif
+#else
+  return 20000;
+#endif
+}
+
 TEST(SpinLockTest, BasicLockUnlock) {
   SpinLock L(true);
   L.lock();
@@ -44,7 +61,7 @@ TEST(SpinLockTest, DisabledIsNoOp) {
 TEST(SpinLockTest, MutualExclusionUnderThreads) {
   SpinLock L(true);
   int64_t Counter = 0;
-  constexpr int PerThread = 20000;
+  const int PerThread = perThreadIters();
   constexpr int NumThreads = 4;
   std::vector<std::thread> Ts;
   for (int T = 0; T < NumThreads; ++T) {
@@ -61,6 +78,28 @@ TEST(SpinLockTest, MutualExclusionUnderThreads) {
     T.join();
   EXPECT_EQ(Counter, int64_t(PerThread) * NumThreads);
   EXPECT_GE(L.acquisitions(), uint64_t(PerThread) * NumThreads);
+}
+
+TEST(SpinLockTest, ContentionShowsUpInCountersNotTiming) {
+  // Counter identities only — nothing here depends on how long the
+  // contended phase takes, so the test is immune to sanitizer slowdowns.
+  SpinLock L(true, "testlock");
+  const int PerThread = perThreadIters() / 4;
+  constexpr int NumThreads = 4;
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < NumThreads; ++T)
+    Ts.emplace_back([&] {
+      for (int I = 0; I < PerThread; ++I) {
+        SpinLockGuard Guard(L);
+      }
+    });
+  for (auto &T : Ts)
+    T.join();
+  EXPECT_EQ(L.acquisitions(), uint64_t(PerThread) * NumThreads);
+  // Contended acquisitions are a subset of acquisitions; delays only
+  // happen on contended ones.
+  EXPECT_LE(L.contendedAcquisitions(), L.acquisitions());
+  EXPECT_EQ(L.name(), std::string("testlock"));
 }
 
 TEST(SpinLockTest, CountersResettable) {
