@@ -18,7 +18,7 @@ STAMP="$(date +%Y%m%d-%H%M%S)"
 
 mkdir -p "$OUT_DIR"
 
-for NAME in table2 figure2; do
+for NAME in table2 figure2 fullgc; do
   BIN="$BUILD_DIR/bench/bench_$NAME"
   if [ ! -x "$BIN" ]; then
     echo "missing $BIN — build first (cmake --build $BUILD_DIR -j)" >&2

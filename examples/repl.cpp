@@ -38,6 +38,7 @@ using namespace mst;
 int main(int argc, char **argv) {
   bool TelemetryReport = false;
   std::string TraceOut;
+  VmConfig Config = VmConfig::multiprocessor(1);
   for (int I = 1; I < argc; ++I) {
     const char *A = argv[I];
     if (std::strcmp(A, "--telemetry") == 0) {
@@ -47,10 +48,16 @@ int main(int argc, char **argv) {
       Telemetry::setTracingEnabled(true);
     } else if (std::strncmp(A, "--chaos-seed=", 13) == 0) {
       chaos::enableSeed(std::strtoull(A + 13, nullptr, 0));
+    } else if (std::strncmp(A, "--fullgc-threshold=", 19) == 0) {
+      Config.Memory.FullGcThresholdBytes =
+          std::strtoull(A + 19, nullptr, 0);
+    } else if (std::strcmp(A, "--fullgc-off") == 0) {
+      Config.Memory.FullGcEnabled = false;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--telemetry] [--trace-out=PATH] "
-                   "[--chaos-seed=N]\n",
+                   "[--chaos-seed=N] [--fullgc-threshold=BYTES] "
+                   "[--fullgc-off]\n",
                    argv[0]);
       return 2;
     }
@@ -58,7 +65,7 @@ int main(int argc, char **argv) {
   if (!chaos::enabled())
     chaos::enableFromEnv(); // MST_CHAOS_SEED et al.
 
-  VirtualMachine VM(VmConfig::multiprocessor(1));
+  VirtualMachine VM(Config);
   bootstrapImage(VM);
   std::printf("Multiprocessor Smalltalk listener — empty line or EOF "
               "quits.\n");

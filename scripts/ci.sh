@@ -13,7 +13,10 @@
 # Configurations:
 #   release      Release build, quick suite (-L quick) — the tier-1 gate.
 #   debug-chaos  Debug build, quick + stress suites with chaos enabled.
-#   tsan         ThreadSanitizer + chaos, quick + stress suites.
+#   tsan         ThreadSanitizer + chaos, quick + stress suites. The
+#                stress label includes the full-GC chaos storms
+#                (FullGCChaosTest), racing parallel mark/sweep against
+#                mutator threads under the injected schedules.
 #   asan         Address+UB sanitizers, quick + stress suites.
 #
 # The stress binaries print the failing chaos seed in the test output

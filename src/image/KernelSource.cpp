@@ -89,6 +89,8 @@ const std::vector<MethodDef> &mst::kernelMethods() {
       {"Object", false, "system",
        "forceScavenge <primitive: 62> ^self error: 'scavenge failed'"},
       {"Object", false, "system",
+       "fullCollect <primitive: 64> ^self error: 'full collection failed'"},
+      {"Object", false, "system",
        "millisecondClock <primitive: 42> ^self error: 'clock failed'"},
 
       /// --- UndefinedObject --------------------------------------------

@@ -60,6 +60,27 @@ struct MemoryConfig {
   /// Bytes per thread-local allocation buffer refill (Tlab policy only).
   size_t TlabBytes = 16u * 1024;
 
+  /// Full (mark-sweep) collection of old space. BS/MS never reclaimed
+  /// tenured garbage — old space only grew — which no long-running system
+  /// survives; the full collector is our departure from the paper.
+  bool FullGcEnabled = true;
+
+  /// Old-space occupancy that arms the growth-threshold trigger: when a
+  /// scavenge's tenuring pushes used old bytes past the current trigger, a
+  /// full collection runs inside the same pause. After each full GC the
+  /// trigger is re-armed at max(threshold, live * growth factor), so a
+  /// genuinely growing live set does not thrash the collector.
+  size_t FullGcThresholdBytes = 64u << 20;
+
+  /// Headroom factor applied to the post-GC live size when re-arming the
+  /// trigger (the "tenure-pressure heuristic").
+  double FullGcGrowthFactor = 1.5;
+
+  /// Number of threads applied to one full collection (marking and
+  /// sweeping both fan out). Clamped to 1 when MpSupport is off, since the
+  /// baseline build's no-op locks cannot protect the shared mark stacks.
+  unsigned FullGcWorkers = 4;
+
   /// When false every lock in the object memory is a no-op: the
   /// "baseline BS" uniprocessor configuration of Table 2.
   bool MpSupport = true;

@@ -34,7 +34,23 @@ enum class ObjectFormat : uint8_t {
   /// A context: slots are oops, but only slots [0, stack pointer] are live;
   /// the collector asks the VM layer for the live slot count.
   Context,
+  /// A free block in old space (swept garbage awaiting reuse). Never
+  /// reachable: the full collector's sweep produces these and
+  /// OldSpace::allocate consumes them. The header is reused as free-list
+  /// metadata — ClassBits holds the raw next-block pointer (8-aligned, so
+  /// bit 0 stays clear and the block never looks forwarded), SlotCount
+  /// keeps totalBytes() honest for chunk walks, and ByteLength holds
+  /// FreeBlockMagic so the heap verifier can tell a genuine free block
+  /// from scribbled memory.
+  Free,
 };
+
+/// Sentinel stored in a free block's ByteLength field.
+constexpr uint32_t FreeBlockMagic = 0xF6EEB10Cu;
+
+/// Word pattern filling a free block's body; the verifier checks it so a
+/// stray store into swept memory is caught at the next verifyHeap.
+constexpr uint64_t FreeZapWord = 0xDEADBEEFDEADBEEFull;
 
 /// Header flag bits.
 enum : uint8_t {
@@ -45,6 +61,10 @@ enum : uint8_t {
   /// Context has been captured (by a block or a pointer store) and must not
   /// be recycled onto the free context list.
   FlagEscaped = 1u << 2,
+  /// Old object marked live by the current full collection. Set with a
+  /// racy-idempotent fetch_or during parallel marking; cleared during the
+  /// sweep, so the bit is always zero outside a full collection.
+  FlagMarked = 1u << 3,
 };
 
 /// The per-object header. The body (slots or bytes) follows immediately.
@@ -134,6 +154,21 @@ struct ObjectHeader {
       Flags.fetch_and(uint8_t(~FlagRemembered), std::memory_order_relaxed);
   }
   void setEscaped() { Flags.fetch_or(FlagEscaped, std::memory_order_relaxed); }
+
+  bool isMarked() const {
+    return (Flags.load(std::memory_order_relaxed) & FlagMarked) != 0;
+  }
+  /// Sets the mark bit. \returns true if this call set it (the caller owns
+  /// tracing the object); false if another mark worker got there first.
+  /// Relaxed is enough: the world is stopped, the bit carries no payload,
+  /// and double-tracing an object would be wasteful but not wrong.
+  bool tryMark() {
+    return (Flags.fetch_or(FlagMarked, std::memory_order_relaxed) &
+            FlagMarked) == 0;
+  }
+  void clearMarked() {
+    Flags.fetch_and(uint8_t(~FlagMarked), std::memory_order_relaxed);
+  }
 
   /// \returns a pointer to the body's slot array.
   Oop *slots() { return reinterpret_cast<Oop *>(this + 1); }

@@ -9,6 +9,7 @@
 #include <cstring>
 #include <unordered_set>
 
+#include "objmem/FullGC.h"
 #include "objmem/Scavenger.h"
 #include "obs/TraceBuffer.h"
 #include "support/Assert.h"
@@ -28,7 +29,8 @@ thread_local MutatorContext *CurrentMutator = nullptr;
 ObjectMemory::ObjectMemory(const MemoryConfig &Config)
     : Config(Config), RemSet(Config.MpSupport),
       Old(Config.OldChunkBytes, Config.MpSupport),
-      AllocLock(Config.MpSupport, "alloc") {
+      AllocLock(Config.MpSupport, "alloc"),
+      FullGcTrigger(Config.FullGcThresholdBytes) {
   Eden.init(Config.EdenBytes);
   Survivors[0].init(Config.SurvivorBytes);
   Survivors[1].init(Config.SurvivorBytes);
@@ -91,6 +93,7 @@ uint8_t *ObjectMemory::allocateNewRaw(size_t TotalBytes, bool &WentOld) {
   // Oversized requests go straight to old space; they would thrash eden.
   if (TotalBytes > Config.EdenBytes / 4) {
     WentOld = true;
+    TenuredBytesCtr.add(TotalBytes);
     return Old.allocate(TotalBytes);
   }
 
@@ -210,7 +213,20 @@ void ObjectMemory::scavengeNow() {
   Sp.resume();
 }
 
-void ObjectMemory::performScavenge() {
+void ObjectMemory::fullCollect() {
+  while (!Sp.requestStopTheWorld()) {
+    // Another thread's scavenge ran; a full collection was explicitly
+    // requested, so keep trying until we are the coordinator.
+  }
+  // The scavenge empties eden into the active survivor space, giving the
+  // marker a linearly parseable young generation; performFullGC runs in
+  // the same pause (AllowFullGc=false avoids triggering it twice).
+  performScavenge(/*AllowFullGc=*/false);
+  performFullGC();
+  Sp.resume();
+}
+
+void ObjectMemory::performScavenge(bool AllowFullGc) {
   // Perturbing here widens the gap between winning the rendezvous and the
   // first forwarding store — the window where late pollers would bite.
   chaos::point("scavenge.start");
@@ -240,23 +256,74 @@ void ObjectMemory::performScavenge() {
   ScavengesCtr.add();
   BytesCopiedCtr.add(Scav.bytesCopied());
   BytesTenuredCtr.add(Scav.bytesTenured());
+  TenuredBytesCtr.add(Scav.bytesTenured());
   Span.setArg(Scav.bytesCopied());
-  std::lock_guard<std::mutex> Guard(StatsMutex);
-  ++Stats.Scavenges;
-  Stats.LastPauseSec = Pause;
-  Stats.TotalPauseSec += Pause;
-  if (Pause > Stats.MaxPauseSec)
-    Stats.MaxPauseSec = Pause;
-  Stats.BytesCopied += Scav.bytesCopied();
-  Stats.BytesTenured += Scav.bytesTenured();
-  Stats.ObjectsCopied += Scav.objectsCopied();
-  Stats.ObjectsTenured += Scav.objectsTenured();
-  Stats.EdenBytesAllocated += EdenUsedNow;
+  {
+    std::lock_guard<std::mutex> Guard(StatsMutex);
+    ++Stats.Scavenges;
+    Stats.LastPauseSec = Pause;
+    Stats.TotalPauseSec += Pause;
+    if (Pause > Stats.MaxPauseSec)
+      Stats.MaxPauseSec = Pause;
+    Stats.BytesCopied += Scav.bytesCopied();
+    Stats.BytesTenured += Scav.bytesTenured();
+    Stats.ObjectsCopied += Scav.objectsCopied();
+    Stats.ObjectsTenured += Scav.objectsTenured();
+    Stats.EdenBytesAllocated += EdenUsedNow;
+  }
+
+  // The tenure-pressure trigger: when tenuring has pushed old space past
+  // the armed threshold, reclaim tenured garbage in the same pause (the
+  // world is already stopped and eden is empty — exactly the state the
+  // full collector wants).
+  if (AllowFullGc && Config.FullGcEnabled &&
+      Old.used() >= FullGcTrigger.load(std::memory_order_relaxed))
+    performFullGC();
+}
+
+void ObjectMemory::performFullGC() {
+  chaos::point("fullgc.start");
+  TraceSpan Span("fullgc", "gc");
+  uint64_t StartNs = Telemetry::nowNs();
+  Stopwatch Watch;
+
+  FullGC Collector(*this);
+  Collector.run();
+
+  double Pause = Watch.seconds();
+  FullPauseHist.record(Telemetry::nowNs() - StartNs);
+  FullGcsCtr.add();
+  FullSweptCtr.add(Collector.sweptBytes());
+  Span.setArg(Collector.sweptBytes());
+  {
+    std::lock_guard<std::mutex> Guard(StatsMutex);
+    ++FullStats.Collections;
+    FullStats.LastPauseSec = Pause;
+    FullStats.TotalPauseSec += Pause;
+    if (Pause > FullStats.MaxPauseSec)
+      FullStats.MaxPauseSec = Pause;
+    FullStats.SweptBytes += Collector.sweptBytes();
+    FullStats.LastLiveBytes = Collector.liveBytes();
+  }
+
+  // Re-arm the trigger with headroom over the surviving live set so a
+  // legitimately growing heap does not collect on every scavenge.
+  double Headroom =
+      static_cast<double>(Old.used()) * Config.FullGcGrowthFactor;
+  size_t Next = Config.FullGcThresholdBytes;
+  if (Headroom > static_cast<double>(Next))
+    Next = static_cast<size_t>(Headroom);
+  FullGcTrigger.store(Next, std::memory_order_relaxed);
 }
 
 ScavengeStats ObjectMemory::statsSnapshot() {
   std::lock_guard<std::mutex> Guard(StatsMutex);
   return Stats;
+}
+
+FullGcStats ObjectMemory::fullGcStatsSnapshot() {
+  std::lock_guard<std::mutex> Guard(StatsMutex);
+  return FullStats;
 }
 
 bool ObjectMemory::verifyHeap(std::string *Error) {
@@ -322,10 +389,12 @@ bool ObjectMemory::verifyHeap(std::string *Error) {
       return Fail(H, "old flag disagrees with the space it lives in");
     if (H->isForwarded())
       return Fail(H, "forwarded outside a scavenge");
+    if (H->isMarked())
+      return Fail(H, "mark bit set outside a full collection");
     if (H->Format != ObjectFormat::Pointers &&
         H->Format != ObjectFormat::Bytes &&
         H->Format != ObjectFormat::Context)
-      return Fail(H, "invalid format byte");
+      return Fail(H, "invalid format byte (or a reachable free block)");
     const uint8_t *End =
         reinterpret_cast<const uint8_t *>(H) + H->totalBytes();
     if (InEden && End > Eden.frontier())
@@ -363,5 +432,7 @@ bool ObjectMemory::verifyHeap(std::string *Error) {
     if (H->isOld() && RefsYoung && !H->isRemembered())
       return Fail(H, "old object references young but is not remembered");
   }
-  return true;
+  // The sweep's output is unreachable by construction, so the walk above
+  // never sees it; check the free lists directly.
+  return Old.verifyFreeLists(Error);
 }

@@ -65,6 +65,19 @@ struct MutatorContext {
   HandleStack Handles;
 };
 
+/// Cumulative full-collection statistics (the mark-sweep collector for
+/// old space; see FullGC.h).
+struct FullGcStats {
+  uint64_t Collections = 0;
+  double TotalPauseSec = 0.0;
+  double LastPauseSec = 0.0;
+  double MaxPauseSec = 0.0;
+  /// Freshly dead old bytes returned to the free lists.
+  uint64_t SweptBytes = 0;
+  /// Old bytes surviving the most recent collection.
+  uint64_t LastLiveBytes = 0;
+};
+
 /// Cumulative scavenger statistics, for the §3.1 "3% of processor time"
 /// and r/s scavenge-frequency experiments.
 struct ScavengeStats {
@@ -224,6 +237,11 @@ public:
   /// registered mutator holding no unprotected heap pointers.
   void scavengeNow();
 
+  /// Performs a stop-the-world full (mark-sweep) collection of old space
+  /// now, preceded by a scavenge in the same pause. Same caller contract
+  /// as scavengeNow(). Runs even when the automatic trigger is disabled.
+  void fullCollect();
+
   Safepoint &safepoint() { return Sp; }
   RememberedSet &rememberedSet() { return RemSet; }
 
@@ -244,10 +262,15 @@ public:
   /// \returns a snapshot of the scavenger statistics.
   ScavengeStats statsSnapshot();
 
+  /// \returns a snapshot of the full-collection statistics.
+  FullGcStats fullGcStatsSnapshot();
+
   /// \returns bytes currently used in eden (includes TLAB slack).
   size_t edenUsed() const { return Eden.used(); }
   size_t edenCapacity() const { return Eden.capacity(); }
   size_t oldSpaceUsed() const { return Old.used(); }
+  size_t oldSpaceFree() const { return Old.freeBytes(); }
+  size_t oldSpaceCapacity() const { return Old.capacity(); }
 
   /// \returns instrumentation handle on the allocation lock.
   SpinLock &allocationLock() { return AllocLock; }
@@ -255,8 +278,12 @@ public:
   /// \returns the distribution of stop-the-world scavenge pauses (ns).
   const Histogram &pauseHistogram() const { return PauseHist; }
 
+  /// \returns the distribution of full-collection pauses (ns).
+  const Histogram &fullPauseHistogram() const { return FullPauseHist; }
+
 private:
   friend class Scavenger;
+  friend class FullGC;
 
   /// Allocates \p TotalBytes in new space, scavenging on exhaustion.
   /// \returns the block; falls back to old space for oversized requests
@@ -273,7 +300,14 @@ private:
   void fillWithNil(ObjectHeader *H);
 
   /// Runs the scavenge with the world stopped (caller is coordinator).
-  void performScavenge();
+  /// When \p AllowFullGc, tenuring that pushes old space past the current
+  /// trigger runs a full collection inside the same pause.
+  void performScavenge(bool AllowFullGc = true);
+
+  /// Runs a full (mark-sweep) collection of old space with the world
+  /// stopped and eden empty (a scavenge must precede it in this pause),
+  /// then re-arms the growth-threshold trigger.
+  void performFullGC();
 
   MemoryConfig Config;
   Safepoint Sp;
@@ -298,16 +332,31 @@ private:
 
   std::mutex StatsMutex;
   ScavengeStats Stats;
+  FullGcStats FullStats;
+
+  /// Old-space occupancy (bytes) that triggers the next automatic full
+  /// collection; re-armed after every full GC from the survivors' size.
+  /// Atomic only so diagnostics may read it racily; updates happen with
+  /// the world stopped.
+  std::atomic<size_t> FullGcTrigger;
 
   /// Registry-visible GC telemetry (the StatsMutex-guarded ScavengeStats
   /// above remains the precise per-VM record; these feed the process-wide
   /// report and the bench JSON).
   Histogram PauseHist{"gc.scavenge.pause"};
+  Histogram FullPauseHist{"gc.full.pause"};
   Counter ScavengesCtr{"gc.scavenges"};
   Counter BytesCopiedCtr{"gc.bytes.copied"};
   Counter BytesTenuredCtr{"gc.bytes.tenured"};
+  /// Total old-space pressure: scavenger tenuring plus oversized
+  /// allocations that bypass eden — the same byte stream the full-GC
+  /// trigger watches, so the telemetry report and the heuristic agree.
+  Counter TenuredBytesCtr{"gc.tenured.bytes"};
+  Counter FullGcsCtr{"gc.full.collections"};
+  Counter FullSweptCtr{"gc.full.swept.bytes"};
   Gauge EdenUsedGauge{"mem.eden.used", [this] { return edenUsed(); }};
   Gauge OldUsedGauge{"mem.old.used", [this] { return oldSpaceUsed(); }};
+  Gauge OldFreeGauge{"mem.old.free", [this] { return oldSpaceFree(); }};
 };
 
 } // namespace mst

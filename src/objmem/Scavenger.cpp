@@ -34,6 +34,9 @@ uint32_t Scavenger::liveSlots(const ObjectHeader *Obj) {
     uint32_t Live = static_cast<uint32_t>(Top) + 1;
     return Live < Obj->SlotCount ? Live : Obj->SlotCount;
   }
+  case ObjectFormat::Free:
+    // Free blocks are unreachable; no collector should ask.
+    break;
   }
   MST_UNREACHABLE("unknown object format");
 }

@@ -19,6 +19,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "vkernel/SpinLock.h"
@@ -74,34 +75,101 @@ private:
   std::atomic<uint8_t *> Cur{nullptr};
 };
 
-/// The non-moving old generation: a list of chunks, grown on demand.
+/// The non-moving old generation: a list of chunks, grown on demand, plus
+/// per-size-class free lists refilled by the full collector's sweep.
 /// Allocation is serialized by a spin lock; old-space allocation happens
 /// only at bootstrap, at tenuring time, and for objects too large for eden,
 /// so contention is rare (the paper's criterion for serialization).
+///
+/// Free-list format: each free block is a dead object rewritten in place to
+/// ObjectFormat::Free — the header's class word carries the raw next-block
+/// pointer, the body is filled with FreeZapWord (see ObjectHeader.h). Exact
+/// size classes cover blocks up to OverflowClassBytes in 8-byte steps; one
+/// overflow list holds everything larger, allocated first-fit with a split.
 class OldSpace {
 public:
+  /// Free blocks of exactly OverflowClassBytes + anything larger land on
+  /// the overflow list; below that, list I holds blocks of exactly
+  /// MinBlockBytes + I*8 bytes.
+  static constexpr size_t NumExactClasses = 64;
+  static constexpr size_t MinBlockBytes = 24; // == sizeof(ObjectHeader)
+  static constexpr size_t OverflowClassBytes =
+      MinBlockBytes + NumExactClasses * 8;
+
   /// \param ChunkBytes size of each chunk.
   /// \param LocksEnabled false for the baseline-BS (no-MP) build.
   OldSpace(size_t ChunkBytes, bool LocksEnabled)
       : ChunkBytes(ChunkBytes), Lock(LocksEnabled, "oldspace") {}
 
-  /// Allocates \p Bytes from old space. Never fails short of exhausting
-  /// the host's memory. \returns the block.
+  /// Allocates \p Bytes from old space, preferring a recycled free block
+  /// over bump allocation. Never fails short of exhausting the host's
+  /// memory. \returns the block.
   uint8_t *allocate(size_t Bytes);
 
-  /// \returns total bytes allocated from old space.
+  /// \returns bytes currently held by live allocations (bump allocations
+  /// plus free-list reuse, minus bytes reclaimed by sweeps).
   size_t used() const { return Used.load(std::memory_order_relaxed); }
+
+  /// \returns bytes currently parked on the free lists.
+  size_t freeBytes() const { return FreeBytes.load(std::memory_order_relaxed); }
+
+  /// \returns total usable bytes across all chunks.
+  size_t capacity() const { return Capacity.load(std::memory_order_relaxed); }
 
   /// \returns true when \p P points into any old-space chunk. Heap
   /// verification support; takes the allocation lock.
   bool contains(const void *P);
+
+  /// --- Sweep support (world stopped; the full collector only) ------------
+
+  /// A chunk's walkable extent: every byte in [Begin, End) is covered by
+  /// consecutive object or free-block headers.
+  struct ChunkSpan {
+    uint8_t *Begin;
+    uint8_t *End;
+  };
+
+  size_t chunkCount();
+  ChunkSpan chunkSpan(size_t I);
+
+  /// Empties every free list (the sweep rebuilds them from scratch; stale
+  /// blocks are rediscovered as it walks the chunks).
+  void sweepBegin();
+
+  /// Formats [P, P+Bytes) as a free block and threads it onto the fitting
+  /// list. \p Bytes must be 8-aligned and >= sizeof(ObjectHeader).
+  void addFreeBlock(uint8_t *P, size_t Bytes);
+
+  /// Credits \p Bytes of freshly dead objects back to the space: used()
+  /// drops by that amount. Recycled free blocks are not re-counted.
+  void noteReclaimed(size_t Bytes);
+
+  /// Walks every free list checking each block is inside a chunk, carries
+  /// the Free format and magic, and has an intact zap-filled body, and
+  /// that the per-list totals add up to freeBytes(). \returns true when
+  /// consistent; on failure describes the first violation in \p Error.
+  bool verifyFreeLists(std::string *Error = nullptr);
 
 private:
   struct Chunk {
     std::unique_ptr<uint8_t[]> Mem;
     uint8_t *Base = nullptr; // 16-aligned usable start
     size_t Bytes = 0;        // usable length
+    uint8_t *Top = nullptr;  // walkable end: headers cover [Base, Top)
   };
+
+  /// Formats and threads a free block onto the fitting list. Lock held.
+  void pushFreeBlockLocked(uint8_t *P, size_t Bytes);
+
+  /// Carves \p Bytes off the front of free block \p Block (of \p BlockBytes
+  /// total), returning any usable remainder to the lists. Lock held.
+  uint8_t *splitFreeBlock(uint8_t *Block, size_t BlockBytes, size_t Bytes);
+
+  /// Pops a fitting free block, or nullptr. Lock held.
+  uint8_t *takeFromFreeLists(size_t Bytes);
+
+  /// contains() with the lock already held.
+  bool containsLocked(const uint8_t *B) const;
 
   size_t ChunkBytes;
   SpinLock Lock;
@@ -109,6 +177,11 @@ private:
   uint8_t *Cur = nullptr;
   uint8_t *Limit = nullptr;
   std::atomic<size_t> Used{0};
+  std::atomic<size_t> FreeBytes{0};
+  std::atomic<size_t> Capacity{0};
+  /// Heads of the per-size-class lists ([NumExactClasses] is overflow);
+  /// links live in the blocks' class words.
+  uint8_t *FreeHeads[NumExactClasses + 1] = {};
 };
 
 } // namespace mst

@@ -572,6 +572,13 @@ Interpreter::PrimResult Interpreter::dispatchPrimitive(int Index,
     return Replace(Om.nil());
   }
 
+  case PrimFullGC: {
+    writeBackIp();
+    OM.fullCollect();
+    reloadFrame();
+    return Replace(Om.nil());
+  }
+
   case PrimErrorReport: {
     Oop Text = topValue(0);
     std::string Msg = Text.isPointer() &&

@@ -73,6 +73,7 @@ enum Primitive : int {
   PrimHostSignal = 60,
   PrimForceScavenge = 62,
   PrimErrorReport = 63,
+  PrimFullGC = 64, ///< fullCollect — scavenge + mark-sweep of old space
   PrimPerformWith = 70, ///< perform: selector withArguments: array
 };
 

@@ -233,6 +233,13 @@ std::string VirtualMachine::statisticsReport() {
          formatDouble(S.TotalPauseSec * 1000.0, 3) + " ms, copied " +
          std::to_string(S.BytesCopied) + " B, tenured " +
          std::to_string(S.BytesTenured) + " B\n";
+  FullGcStats F = OM->fullGcStatsSnapshot();
+  Out += "full collections: " + std::to_string(F.Collections) +
+         ", total pause " + formatDouble(F.TotalPauseSec * 1000.0, 3) +
+         " ms, swept " + std::to_string(F.SweptBytes) + " B, old live " +
+         std::to_string(F.LastLiveBytes) + " B (used " +
+         std::to_string(OM->oldSpaceUsed()) + " B, free " +
+         std::to_string(OM->oldSpaceFree()) + " B)\n";
   Out += "display commands: " + std::to_string(Disp.submittedCount()) +
          "\n";
 
