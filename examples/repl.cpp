@@ -53,17 +53,41 @@ int main(int argc, char **argv) {
           std::strtoull(A + 19, nullptr, 0);
     } else if (std::strcmp(A, "--fullgc-off") == 0) {
       Config.Memory.FullGcEnabled = false;
+    } else if (std::strncmp(A, "--max-heap=", 11) == 0) {
+      // Heap ceiling in bytes (eden + survivors + old space). Exhaustion
+      // walks the recovery ladder and ends in a catchable
+      // OutOfMemoryError instead of growing without bound.
+      Config.Memory.MaxHeapBytes = std::strtoull(A + 11, nullptr, 0);
+    } else if (std::strncmp(A, "--watchdog-ms=", 14) == 0) {
+      // Safepoint-rendezvous deadline; a stall past it produces a
+      // postmortem dump naming the unresponsive thread.
+      Config.Memory.WatchdogMillis = std::strtoull(A + 14, nullptr, 0);
     } else {
       std::fprintf(stderr,
                    "usage: %s [--telemetry] [--trace-out=PATH] "
                    "[--chaos-seed=N] [--fullgc-threshold=BYTES] "
-                   "[--fullgc-off]\n",
+                   "[--fullgc-off] [--max-heap=BYTES] [--watchdog-ms=N]\n",
                    argv[0]);
       return 2;
     }
   }
   if (!chaos::enabled())
     chaos::enableFromEnv(); // MST_CHAOS_SEED et al.
+
+  if (Config.Memory.MaxHeapBytes) {
+    // Keep the young generation evacuable under the ceiling: a scavenge
+    // must be able to move a full eden into survivor + old space, or a
+    // fully-retained eden wedges the collector instead of surfacing an
+    // orderly OutOfMemoryError. Require fixed + eden + survivor <= max,
+    // i.e. 2*eden + 3*survivor <= max, shrinking the defaults to fit.
+    size_t &Eden = Config.Memory.EdenBytes;
+    size_t &Surv = Config.Memory.SurvivorBytes;
+    while (Eden > 64u * 1024 &&
+           2 * Eden + 3 * Surv > Config.Memory.MaxHeapBytes) {
+      Eden /= 2;
+      Surv = Eden / 4 > 32u * 1024 ? Eden / 4 : 32u * 1024;
+    }
+  }
 
   VirtualMachine VM(Config);
   bootstrapImage(VM);

@@ -18,6 +18,11 @@
 #                (FullGCChaosTest), racing parallel mark/sweep against
 #                mutator threads under the injected schedules.
 #   asan         Address+UB sanitizers, quick + stress suites.
+#   smallheap    Debug build, stress suite under memory pressure: a tiny
+#                default heap ceiling (MST_MAX_HEAP_BYTES) plus seeded
+#                eden-allocation faults (MST_CHAOS_ALLOC_FAIL_PM) pushed
+#                into every stress binary, so the pressure-recovery ladder
+#                and low-space paths run on every matrix build.
 #
 # The stress binaries print the failing chaos seed in the test output
 # (SCOPED_TRACE "chaos-seed=N"); reproduce with MST_CHAOS_SEED=N.
@@ -89,9 +94,21 @@ do_asan() {
   run_suite asan stress chaos
 }
 
+do_smallheap() {
+  banner "smallheap: Debug, stress under tiny heap ceiling + alloc faults"
+  configure smallheap Debug ""
+  cmake --build build-ci/smallheap -j "$JOBS"
+  # ScopedChaos arms the fault points from these variables (armFailFromEnv),
+  # and any ObjectMemory built without an explicit ceiling adopts the tiny
+  # MST_MAX_HEAP_BYTES one, so every stress test walks the recovery ladder.
+  MST_MAX_HEAP_BYTES=$((32 * 1024 * 1024)) \
+  MST_CHAOS_ALLOC_FAIL_PM=${MST_CHAOS_ALLOC_FAIL_PM:-60} \
+    run_suite smallheap stress chaos
+}
+
 CONFIGS=("$@")
 if [ ${#CONFIGS[@]} -eq 0 ]; then
-  CONFIGS=(release debug-chaos tsan asan)
+  CONFIGS=(release debug-chaos tsan asan smallheap)
 fi
 
 for C in "${CONFIGS[@]}"; do
@@ -100,8 +117,10 @@ for C in "${CONFIGS[@]}"; do
   debug-chaos) do_debug_chaos ;;
   tsan) do_tsan ;;
   asan) do_asan ;;
+  smallheap) do_smallheap ;;
   *)
-    echo "unknown configuration: $C (known: release debug-chaos tsan asan)" >&2
+    echo "unknown configuration: $C" \
+      "(known: release debug-chaos tsan asan smallheap)" >&2
     exit 2
     ;;
   esac

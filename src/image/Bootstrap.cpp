@@ -62,11 +62,8 @@ Oop mst::defineClass(VirtualMachine &VM, const std::string &Name,
                      const std::string &Category) {
   ObjectModel &Om = VM.model();
   Oop Super = Om.globalAt(SuperName);
-  if (Super.isNull()) {
-    std::fprintf(stderr, "defineClass: unknown superclass %s\n",
-                 SuperName.c_str());
-    std::abort();
-  }
+  if (Super.isNull())
+    panic("defineClass: unknown superclass " + SuperName);
   Oop Cls = Om.makeClass(Super, Name, Kind, InstVarNames, Category);
   Om.globalPut(Name, Cls);
   return Cls;
@@ -115,10 +112,8 @@ void mst::bootstrapImage(VirtualMachine &VM) {
   // 3. Kernel methods.
   for (const MethodDef &M : kernelMethods()) {
     Oop Cls = Om.globalAt(M.ClassName);
-    if (Cls.isNull()) {
-      std::fprintf(stderr, "bootstrap: unknown class %s\n", M.ClassName);
-      std::abort();
-    }
+    if (Cls.isNull())
+      panic("bootstrap: unknown class " + std::string(M.ClassName));
     if (M.Meta)
       Cls = Om.classOf(Cls);
     mustCompile(Om, &VM.cache(), Cls, M.Source);
@@ -188,12 +183,11 @@ void mst::bootstrapImage(VirtualMachine &VM) {
               " organization: org";
       Oop R = VM.compileAndRun(DoIt);
       if (R.isNull()) {
-        std::fprintf(stderr,
-                     "bootstrap: organization doIt failed for %s\n%s\n",
-                     ClassName.c_str(), DoIt.c_str());
+        std::string Msg =
+            "bootstrap: organization doIt failed for " + ClassName;
         for (const std::string &E : VM.errors())
-          std::fprintf(stderr, "  error: %s\n", E.c_str());
-        std::abort();
+          Msg += "\n  error: " + E;
+        panic(Msg);
       }
     }
   }

@@ -91,6 +91,9 @@ const std::vector<MethodDef> &mst::kernelMethods() {
       {"Object", false, "system",
        "fullCollect <primitive: 64> ^self error: 'full collection failed'"},
       {"Object", false, "system",
+       "lowSpaceSemaphore: aSemaphore <primitive: 65> ^self error: "
+       "'low-space registration failed'"},
+      {"Object", false, "system",
        "millisecondClock <primitive: 42> ^self error: 'clock failed'"},
 
       /// --- UndefinedObject --------------------------------------------

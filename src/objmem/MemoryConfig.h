@@ -81,6 +81,38 @@ struct MemoryConfig {
   /// baseline build's no-op locks cannot protect the shared mark stacks.
   unsigned FullGcWorkers = 4;
 
+  /// Ceiling on total heap bytes: eden + both survivor spaces + old
+  /// space's live bytes and usable capacity. 0 = unbounded (old space
+  /// grows chunk by chunk forever, the pre-ceiling behaviour). With a
+  /// ceiling, allocation failure walks the recovery ladder — scavenge,
+  /// full collection, bounded old-space growth — and finally surfaces as
+  /// a null oop that
+  /// the VM layer raises into the requesting process as OutOfMemoryError.
+  /// The Firefly had 16 MB for everything; exhaustion is a normal
+  /// operating condition, not a crash. When this is 0 the MST_MAX_HEAP_BYTES
+  /// environment variable supplies a default ceiling (the CI small-heap
+  /// lane's hook); an explicit value here always wins.
+  size_t MaxHeapBytes = 0;
+
+  /// Low-space watermark. At the end of every scavenge the obtainable
+  /// old-space headroom (bytes still allocatable under the ceiling plus
+  /// recycled free-list bytes) is compared against this; on falling below
+  /// it the registered low-space semaphore is signalled, once per
+  /// crossing (re-armed when headroom recovers). Meaningful only with a
+  /// ceiling.
+  size_t LowSpaceWatermarkBytes = 256u * 1024;
+
+  /// Safepoint watchdog deadline (milliseconds): a stop-the-world
+  /// rendezvous stalled longer than this emits a postmortem panic dump
+  /// naming the unresponsive mutators — and aborts when no panic handler
+  /// is installed — instead of hanging forever. 0 = no watchdog.
+  uint64_t WatchdogMillis = 0;
+
+  /// Runs verifyHeap() at the end of every collection, with the world
+  /// still stopped, routing any failure through panic(). Expensive (full
+  /// reachability walk per GC); stress suites only.
+  bool VerifyAfterGc = false;
+
   /// When false every lock in the object memory is a no-op: the
   /// "baseline BS" uniprocessor configuration of Table 2.
   bool MpSupport = true;

@@ -6,6 +6,7 @@
 
 #include "objmem/ObjectMemory.h"
 
+#include <cstdlib>
 #include <cstring>
 #include <unordered_set>
 
@@ -13,6 +14,7 @@
 #include "objmem/Scavenger.h"
 #include "obs/TraceBuffer.h"
 #include "support/Assert.h"
+#include "support/Panic.h"
 #include "support/Timer.h"
 #include "vkernel/Chaos.h"
 
@@ -24,19 +26,49 @@ namespace {
 /// time is sufficient for this system (each interpreter process serves a
 /// single VM).
 thread_local MutatorContext *CurrentMutator = nullptr;
+
+/// The CI small-heap lane exports MST_MAX_HEAP_BYTES to impose a heap
+/// ceiling on every memory that does not configure one of its own, so the
+/// pressure-recovery ladder runs under the whole stress suite without
+/// per-test plumbing. A config that sets an explicit ceiling always wins.
+MemoryConfig withEnvCeiling(MemoryConfig C) {
+  if (C.MaxHeapBytes == 0)
+    if (const char *S = std::getenv("MST_MAX_HEAP_BYTES"))
+      if (*S)
+        C.MaxHeapBytes = std::strtoull(S, nullptr, 0);
+  return C;
+}
 } // namespace
 
-ObjectMemory::ObjectMemory(const MemoryConfig &Config)
-    : Config(Config), RemSet(Config.MpSupport),
+ObjectMemory::ObjectMemory(const MemoryConfig &InitialConfig)
+    : Config(withEnvCeiling(InitialConfig)), RemSet(Config.MpSupport),
       Old(Config.OldChunkBytes, Config.MpSupport),
       AllocLock(Config.MpSupport, "alloc"),
       FullGcTrigger(Config.FullGcThresholdBytes) {
   Eden.init(Config.EdenBytes);
   Survivors[0].init(Config.SurvivorBytes);
   Survivors[1].init(Config.SurvivorBytes);
+  if (Config.MaxHeapBytes) {
+    // The ceiling covers the whole heap; eden and the survivor spaces are
+    // committed up front, so old space gets whatever remains.
+    size_t Fixed = Config.EdenBytes + 2 * Config.SurvivorBytes;
+    if (Config.MaxHeapBytes <= Fixed + OldSpace::MinBlockBytes)
+      panic("MaxHeapBytes (" + std::to_string(Config.MaxHeapBytes) +
+            ") leaves no old space after eden + survivors (" +
+            std::to_string(Fixed) + " bytes)");
+    Old.setCeiling(Config.MaxHeapBytes - Fixed);
+  }
+  Sp.setWatchdogMillis(Config.WatchdogMillis);
+  HeapPanicSection =
+      panicRegisterSection("heap", [this] { return heapSummary(); });
+  SafepointPanicSection = panicRegisterSection(
+      "safepoint", [this] { return Sp.describeMutators(); });
 }
 
-ObjectMemory::~ObjectMemory() = default;
+ObjectMemory::~ObjectMemory() {
+  panicUnregisterSection(HeapPanicSection);
+  panicUnregisterSection(SafepointPanicSection);
+}
 
 MutatorContext *ObjectMemory::registerMutator(const std::string &Name) {
   assert(CurrentMutator == nullptr && "thread already registered");
@@ -48,7 +80,9 @@ MutatorContext *ObjectMemory::registerMutator(const std::string &Name) {
   M->Id = static_cast<unsigned>(Mutators.size());
   CurrentMutator = M.get();
   Mutators.push_back(std::move(M));
-  Sp.registerMutator();
+  Sp.registerMutator(Name.empty()
+                         ? "mutator-" + std::to_string(CurrentMutator->Id)
+                         : Name);
   return CurrentMutator;
 }
 
@@ -91,43 +125,76 @@ void ObjectMemory::fillWithNil(ObjectHeader *H) {
 uint8_t *ObjectMemory::allocateNewRaw(size_t TotalBytes, bool &WentOld) {
   WentOld = false;
   // Oversized requests go straight to old space; they would thrash eden.
-  if (TotalBytes > Config.EdenBytes / 4) {
+  // "Bigger than eden" is the degenerate case: no number of scavenges
+  // could ever make such a request fit, so it must never enter the retry
+  // loop below.
+  if (TotalBytes > Config.EdenBytes / 4 || TotalBytes > Eden.capacity()) {
     WentOld = true;
-    TenuredBytesCtr.add(TotalBytes);
-    return Old.allocate(TotalBytes);
+    uint8_t *Mem = allocateOldRescuing(TotalBytes);
+    if (Mem)
+      TenuredBytesCtr.add(TotalBytes);
+    return Mem;
   }
 
   MutatorContext &M = mutator();
+  // Rung 1 of the recovery ladder: scavenge on eden exhaustion. Bounded:
+  // when this many pressure scavenges cannot make the request fit (rival
+  // allocators draining eden as fast as it empties, a TLAB refill policy
+  // larger than eden, injected allocation faults), divert into old space
+  // rather than spinning forever.
+  unsigned ScavengesLeft = 3;
   for (;;) {
     // Allocation is a GC point: honor a pending stop-the-world first.
     if (Sp.pollNeeded())
       Sp.pollSlow();
 
-    if (Config.Allocator == AllocatorKind::Tlab) {
-      if (M.TlabCur && M.TlabCur + TotalBytes <= M.TlabEnd) {
-        uint8_t *Result = M.TlabCur;
-        M.TlabCur += TotalBytes;
-        return Result;
+    if (!chaos::failPoint("alloc.fail")) {
+      if (Config.Allocator == AllocatorKind::Tlab) {
+        if (M.TlabCur && M.TlabCur + TotalBytes <= M.TlabEnd) {
+          uint8_t *Result = M.TlabCur;
+          M.TlabCur += TotalBytes;
+          return Result;
+        }
+        // Refill the thread-local buffer from eden. When the refill no
+        // longer fits — eden nearly full, or TlabBytes misconfigured
+        // beyond eden's size — fall back to a direct bump of just this
+        // request before declaring eden exhausted.
+        size_t Refill = Config.TlabBytes > TotalBytes ? Config.TlabBytes
+                                                      : TotalBytes;
+        if (uint8_t *Buf = Eden.tryBumpAtomic(Refill)) {
+          M.TlabCur = Buf;
+          M.TlabEnd = Buf + Refill;
+          continue;
+        }
+        if (uint8_t *Result = Eden.tryBumpAtomic(TotalBytes))
+          return Result;
+      } else {
+        // Serialized policy: MS's published design — a spin lock around a
+        // bump pointer ("little more than incrementing a pointer").
+        AllocLock.lock();
+        uint8_t *Result = Eden.tryBumpAtomic(TotalBytes);
+        AllocLock.unlock();
+        if (Result)
+          return Result;
       }
-      // Refill the thread-local buffer from eden.
-      size_t Refill = Config.TlabBytes > TotalBytes ? Config.TlabBytes
-                                                    : TotalBytes;
-      if (uint8_t *Buf = Eden.tryBumpAtomic(Refill)) {
-        M.TlabCur = Buf;
-        M.TlabEnd = Buf + Refill;
-        continue;
-      }
-    } else {
-      // Serialized policy: MS's published design — a spin lock around a
-      // bump pointer ("little more than incrementing a pointer").
-      AllocLock.lock();
-      uint8_t *Result = Eden.tryBumpAtomic(TotalBytes);
-      AllocLock.unlock();
-      if (Result)
-        return Result;
     }
 
-    // Eden exhausted: scavenge and retry.
+    // With old space at (or overshot past) the ceiling, scavenging could
+    // only evacuate further past it — go straight to the rescue rung,
+    // whose full collection either recovers usage to below the ceiling
+    // or surfaces an orderly out-of-memory.
+    if (ScavengesLeft == 0 || oldAtCeiling()) {
+      // Rung 3: divert this request into old space (rung 2, the full
+      // collection, runs inside the rescue when old space refuses).
+      WentOld = true;
+      LadderGrowCtr.add();
+      uint8_t *Mem = allocateOldRescuing(TotalBytes);
+      if (Mem)
+        TenuredBytesCtr.add(TotalBytes);
+      return Mem;
+    }
+    --ScavengesLeft;
+    LadderScavengeCtr.add();
     if (Sp.requestStopTheWorld()) {
       performScavenge();
       Sp.resume();
@@ -135,6 +202,24 @@ uint8_t *ObjectMemory::allocateNewRaw(size_t TotalBytes, bool &WentOld) {
     // If requestStopTheWorld returned false another thread's scavenge just
     // completed; either way eden has been reset — retry the allocation.
   }
+}
+
+uint8_t *ObjectMemory::allocateOldRescuing(size_t TotalBytes) {
+  if (uint8_t *Mem = Old.allocate(TotalBytes))
+    return Mem;
+  if (Config.FullGcEnabled) {
+    // Rung 2: a full collection reclaims tenured garbage and coalesces
+    // free runs, often freeing a block big enough under the same ceiling.
+    LadderFullGcCtr.add();
+    fullCollect();
+    if (uint8_t *Mem = Old.allocate(TotalBytes))
+      return Mem;
+  }
+  // Every rung failed: out of memory. The caller propagates a null oop,
+  // which the VM layer raises into the requesting process as
+  // OutOfMemoryError — the VM itself keeps running.
+  LadderOomCtr.add();
+  return nullptr;
 }
 
 Oop ObjectMemory::allocateNew(Oop Cls, uint32_t Slots, ObjectFormat Format,
@@ -145,6 +230,8 @@ Oop ObjectMemory::allocateNew(Oop Cls, uint32_t Slots, ObjectFormat Format,
   Handle ClsHandle(handles(), Cls);
   bool WentOld = false;
   uint8_t *Mem = allocateNewRaw(Total, WentOld);
+  if (!Mem)
+    return Oop(); // Out of memory: the VM layer raises OutOfMemoryError.
   auto *H = reinterpret_cast<ObjectHeader *>(Mem);
   initHeader(H, ClsHandle.get(), Slots, Format, ByteLen, WentOld);
   if (Format == ObjectFormat::Bytes)
@@ -157,7 +244,18 @@ Oop ObjectMemory::allocateNew(Oop Cls, uint32_t Slots, ObjectFormat Format,
 Oop ObjectMemory::allocateOld(Oop Cls, uint32_t Slots, ObjectFormat Format,
                               uint32_t ByteLen) {
   size_t Total = sizeof(ObjectHeader) + size_t(Slots) * sizeof(Oop);
-  auto *H = reinterpret_cast<ObjectHeader *>(Old.allocate(Total));
+  uint8_t *Mem = Old.allocate(Total);
+  if (!Mem) {
+    // allocateOld carries a never-scavenges contract — callers (bootstrap,
+    // kernel construction, the compiler, symbol interning) hold raw oops a
+    // moving collection would invalidate — so no recovery rung is sound
+    // here. These allocations are small and bounded by the program text,
+    // so overshoot the ceiling rather than panic; the pressure ladder
+    // refuses ordinary mutator work until usage drops back below it.
+    Mem = Old.allocateOverCeiling(Total);
+    OvershootCtr.add(Total);
+  }
+  auto *H = reinterpret_cast<ObjectHeader *>(Mem);
   initHeader(H, Cls, Slots, Format, ByteLen, /*IsOld=*/true);
   if (Format == ObjectFormat::Bytes)
     std::memset(H->bytes(), 0, size_t(Slots) * sizeof(Oop));
@@ -279,6 +377,15 @@ void ObjectMemory::performScavenge(bool AllowFullGc) {
   if (AllowFullGc && Config.FullGcEnabled &&
       Old.used() >= FullGcTrigger.load(std::memory_order_relaxed))
     performFullGC();
+
+  // Scavenge end is the one place every mutator is parked and the heap
+  // shape is settled — check the low-space watermark here.
+  maybeSignalLowSpace();
+  if (Config.VerifyAfterGc) {
+    std::string Err;
+    if (!verifyHeap(&Err))
+      panic("verifyHeap failed after scavenge: " + Err);
+  }
 }
 
 void ObjectMemory::performFullGC() {
@@ -314,6 +421,81 @@ void ObjectMemory::performFullGC() {
   if (Headroom > static_cast<double>(Next))
     Next = static_cast<size_t>(Headroom);
   FullGcTrigger.store(Next, std::memory_order_relaxed);
+
+  if (Config.VerifyAfterGc) {
+    std::string Err;
+    if (!verifyHeap(&Err))
+      panic("verifyHeap failed after full collection: " + Err);
+  }
+}
+
+size_t ObjectMemory::headroomBytes() const {
+  // Mechanically obtainable bytes: free bytes already carved into old
+  // space, plus the open chunk's un-bumped remainder, plus whatever the
+  // ceiling still permits old space to grow by. With no ceiling only the
+  // first two are counted (growth is host-bounded, not ours).
+  size_t Free = Old.freeBytes() + Old.bumpRemaining();
+  size_t Cap = Old.ceiling();
+  if (Cap == 0)
+    return Free;
+  size_t Have = Old.capacity();
+  size_t Mechanical = Free + (Cap > Have ? Cap - Have : 0);
+  // The ceiling also bounds live bytes, so headroom can never exceed the
+  // gap between usage and the ceiling — after an evacuation overshoot
+  // that gap is zero even while recycled blocks sit on the free lists.
+  size_t Used = Old.used();
+  size_t LiveRoom = Cap > Used ? Cap - Used : 0;
+  return Mechanical < LiveRoom ? Mechanical : LiveRoom;
+}
+
+void ObjectMemory::setLowSpaceCallback(std::function<void()> Cb) {
+  std::lock_guard<std::mutex> Guard(RootsMutex);
+  LowSpaceCallback = std::move(Cb);
+}
+
+void ObjectMemory::maybeSignalLowSpace() {
+  // Edge-triggered: one signal per downward crossing of the watermark,
+  // re-armed once a collection recovers the headroom. Only meaningful
+  // under a ceiling — an unbounded heap never runs "low".
+  if (Old.ceiling() == 0 || Config.LowSpaceWatermarkBytes == 0)
+    return;
+  size_t Headroom = headroomBytes();
+  if (LowSpaceArmed && Headroom < Config.LowSpaceWatermarkBytes) {
+    LowSpaceArmed = false;
+    LowSpaceSignalsCtr.add();
+    std::function<void()> Cb;
+    {
+      std::lock_guard<std::mutex> Guard(RootsMutex);
+      Cb = LowSpaceCallback;
+    }
+    // Invoked with the world stopped: the callback must not allocate.
+    // Signalling a Smalltalk semaphore is allocation-free.
+    if (Cb)
+      Cb();
+  } else if (!LowSpaceArmed && Headroom >= Config.LowSpaceWatermarkBytes) {
+    LowSpaceArmed = true;
+  }
+}
+
+std::string ObjectMemory::heapSummary() {
+  // Panic-path rendering: atomics only. The panicking thread may hold
+  // StatsMutex or be mid-GC, so no lock this function takes may be one
+  // the hot paths take.
+  auto Kb = [](size_t B) { return std::to_string(B / 1024) + " KiB"; };
+  std::string Out;
+  Out += "eden: " + Kb(Eden.used()) + " / " + Kb(Eden.capacity()) + "\n";
+  Out += "survivor[active]: " + Kb(Survivors[ActiveSurvivor].used()) + " / " +
+         Kb(Config.SurvivorBytes) + "\n";
+  Out += "old: used " + Kb(Old.used()) + ", free " + Kb(Old.freeBytes()) +
+         ", capacity " + Kb(Old.capacity());
+  if (Old.ceiling())
+    Out += ", ceiling " + Kb(Old.ceiling());
+  Out += "\n";
+  Out += "headroom: " + Kb(headroomBytes()) + "\n";
+  Out += "fullgc trigger: " +
+         Kb(FullGcTrigger.load(std::memory_order_relaxed)) + "\n";
+  Out += "pauses: " + std::to_string(Sp.pauseCount()) + "\n";
+  return Out;
 }
 
 ScavengeStats ObjectMemory::statsSnapshot() {

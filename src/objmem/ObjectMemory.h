@@ -137,14 +137,24 @@ public:
   /// New-space allocation may trigger a scavenge: every call is a GC point.
   /// Callers must hold no raw object pointers across these calls unless
   /// protected by handles.
+  ///
+  /// Under a heap ceiling (MemoryConfig::MaxHeapBytes) allocation walks
+  /// the memory-pressure recovery ladder — scavenge, full collection,
+  /// bounded old-space growth — and when every rung fails answers the
+  /// *null oop*. The VM layer raises that into the requesting Smalltalk
+  /// process as OutOfMemoryError; only paths with no process to fail
+  /// (bootstrap, mid-scavenge tenuring) escalate to panic().
 
   /// Allocates a pointers object with \p Slots nil-filled fields.
+  /// \returns the object, or null when memory is exhausted.
   Oop allocatePointers(Oop Cls, uint32_t Slots);
 
   /// Allocates a byte object of exactly \p ByteLen zero-filled bytes.
+  /// \returns the object, or null when memory is exhausted.
   Oop allocateBytes(Oop Cls, uint32_t ByteLen);
 
   /// Allocates a context object (Format::Context) with \p Slots fields.
+  /// \returns the object, or null when memory is exhausted.
   Oop allocateContextObject(Oop Cls, uint32_t Slots);
 
   /// Allocates directly in old space (bootstrap / permanent objects).
@@ -245,6 +255,22 @@ public:
   Safepoint &safepoint() { return Sp; }
   RememberedSet &rememberedSet() { return RemSet; }
 
+  /// --- Memory pressure ----------------------------------------------------
+
+  /// \returns obtainable old-space bytes: recycled free-list bytes plus
+  /// whatever the ceiling still allows old space to grow. With no ceiling
+  /// the growth term is unbounded, so only the free-list bytes are
+  /// reported (the mem.headroom gauge reads this).
+  size_t headroomBytes() const;
+
+  /// Installs the low-space notification. Invoked at the end of a
+  /// scavenge, on the coordinator thread with the world still stopped,
+  /// when headroom first drops below MemoryConfig::LowSpaceWatermarkBytes
+  /// (edge-triggered; re-armed when headroom recovers). The callback must
+  /// not allocate — the VM layer signals a Smalltalk semaphore, which is
+  /// allocation-free.
+  void setLowSpaceCallback(std::function<void()> Cb);
+
   /// --- Debug verification ---------------------------------------------------
 
   /// Walks every object reachable from the roots (nil, registered root
@@ -285,10 +311,38 @@ private:
   friend class Scavenger;
   friend class FullGC;
 
-  /// Allocates \p TotalBytes in new space, scavenging on exhaustion.
-  /// \returns the block; falls back to old space for oversized requests
-  /// (the caller learns via the header's old flag).
+  /// Allocates \p TotalBytes in new space, walking the recovery ladder on
+  /// exhaustion: bounded scavenging, then diversion into old space (which
+  /// itself may run a full collection). Oversized requests — larger than
+  /// a quarter of eden, or than eden outright — divert immediately; they
+  /// could never be satisfied by scavenging and must not spin. \returns
+  /// the block (the caller learns where it landed via \p WentOld), or
+  /// nullptr when every rung failed.
   uint8_t *allocateNewRaw(size_t TotalBytes, bool &WentOld);
+
+  /// Old-space allocation walking the ladder's lower rungs: on refusal
+  /// (heap ceiling, injected fault) a full collection runs to reclaim
+  /// tenured garbage before one retry. The caller must be at a legal GC
+  /// point. \returns the block, or nullptr — out of memory.
+  uint8_t *allocateOldRescuing(size_t TotalBytes);
+
+  /// \returns whether old-space usage has reached the heap ceiling —
+  /// the state left behind when an evacuation had to overshoot it. While
+  /// true the ladder skips the scavenge rungs (they could only push
+  /// further past) and routes allocations through the rescue rung, whose
+  /// full collection brings usage back under the ceiling or surfaces an
+  /// orderly out-of-memory.
+  bool oldAtCeiling() const {
+    return Old.ceiling() != 0 && Old.used() >= Old.ceiling();
+  }
+
+  /// The edge-triggered low-space watermark check; end of scavenge, world
+  /// stopped.
+  void maybeSignalLowSpace();
+
+  /// Bounded heap summary for the panic dump (atomics only — callable
+  /// from any fatal path).
+  std::string heapSummary();
 
   Oop allocateNew(Oop Cls, uint32_t Slots, ObjectFormat Format,
                   uint32_t ByteLen);
@@ -357,6 +411,29 @@ private:
   Gauge EdenUsedGauge{"mem.eden.used", [this] { return edenUsed(); }};
   Gauge OldUsedGauge{"mem.old.used", [this] { return oldSpaceUsed(); }};
   Gauge OldFreeGauge{"mem.old.free", [this] { return oldSpaceFree(); }};
+
+  /// Memory-pressure instrumentation: one counter per recovery-ladder
+  /// rung, the low-space signal count, and the live headroom gauge.
+  Counter LadderScavengeCtr{"mem.pressure.ladder.scavenge"};
+  Counter LadderFullGcCtr{"mem.pressure.ladder.fullgc"};
+  Counter LadderGrowCtr{"mem.pressure.ladder.grow"};
+  Counter LadderOomCtr{"mem.pressure.ladder.oom"};
+  Counter LowSpaceSignalsCtr{"gc.lowspace.signals"};
+  /// Bytes the scavenger tenured past the ceiling because both old space
+  /// and the survivor space refused mid-evacuation.
+  Counter OvershootCtr{"mem.pressure.overshoot.bytes"};
+  Gauge HeadroomGauge{"mem.headroom", [this] { return headroomBytes(); }};
+
+  /// Low-space notification; write guarded by RootsMutex, invoked with
+  /// the world stopped.
+  std::function<void()> LowSpaceCallback;
+  /// Edge trigger for the watermark; touched only with the world stopped.
+  bool LowSpaceArmed = true;
+
+  /// Panic-dump sections owned by this memory (heap summary + safepoint
+  /// mutator table); unregistered in the destructor.
+  int HeapPanicSection = -1;
+  int SafepointPanicSection = -1;
 };
 
 } // namespace mst

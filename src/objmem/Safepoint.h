@@ -32,7 +32,10 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
+#include <string>
+#include <vector>
 
 #include "obs/Histogram.h"
 
@@ -45,8 +48,9 @@ public:
   Safepoint(const Safepoint &) = delete;
   Safepoint &operator=(const Safepoint &) = delete;
 
-  /// Registers the calling thread as a mutator.
-  void registerMutator();
+  /// Registers the calling thread as a mutator. \p Name labels the thread
+  /// in watchdog reports and the panic mutator table.
+  void registerMutator(const std::string &Name = std::string());
 
   /// Unregisters the calling thread. The thread must not be inside a
   /// blocked region and must not hold heap references afterwards.
@@ -94,7 +98,50 @@ public:
   /// the scavenge work itself.
   const Histogram &rendezvousHistogram() const { return RendezvousHist; }
 
+  /// --- Watchdog -----------------------------------------------------------
+  /// A mutator that never reaches a poll (wedged primitive, deadlocked
+  /// host lock, runaway native loop) stalls every future rendezvous and
+  /// with it the whole VM. The watchdog bounds the coordinator's wait:
+  /// past the deadline it emits a panic dump naming the mutators that
+  /// have not reported safe. If a panic handler consumed the dump (test
+  /// harness), the wait continues and the dump repeats each deadline;
+  /// unhandled, the watchdog aborts rather than hang forever.
+
+  /// Sets the rendezvous deadline in milliseconds; 0 disables.
+  void setWatchdogMillis(uint64_t Ms) {
+    WatchdogMs.store(Ms, std::memory_order_relaxed);
+  }
+
+  uint64_t watchdogMillis() const {
+    return WatchdogMs.load(std::memory_order_relaxed);
+  }
+
+  /// \returns how many times the watchdog has fired.
+  uint64_t watchdogFirings() const {
+    return WatchdogFires.load(std::memory_order_relaxed);
+  }
+
+  /// Renders the mutator table (name + safe/unsafe + rendezvous state)
+  /// for the panic dump. Takes the internal mutex; fatal paths never hold
+  /// it, so panic sections may call this.
+  std::string describeMutators();
+
+  /// Per-mutator bookkeeping, exposed only because the thread-local
+  /// registration map in Safepoint.cpp needs the type.
+  struct MutState {
+    std::string Name;
+    bool Safe = false; // guarded by Mutex
+  };
+
 private:
+  /// The calling thread's state within this safepoint, or nullptr when
+  /// the thread is not registered here. Mutex held.
+  MutState *myStateLocked();
+
+  /// Comma-joined names of registered mutators not currently safe.
+  /// Mutex held.
+  std::string stalledNamesLocked() const;
+
   std::mutex Mutex;
   std::condition_variable Cv;
   std::atomic<bool> GlobalFlag{false};
@@ -102,7 +149,10 @@ private:
   bool InProgress = false;  // World stopped, coordinator working.
   unsigned Mutators = 0;
   unsigned SafeMutators = 0;
+  std::vector<std::unique_ptr<MutState>> States; // guarded by Mutex
   std::atomic<uint64_t> Pauses{0};
+  std::atomic<uint64_t> WatchdogMs{0};
+  std::atomic<uint64_t> WatchdogFires{0};
   Histogram RendezvousHist{"gc.safepoint.rendezvous"};
 };
 

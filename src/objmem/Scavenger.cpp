@@ -11,6 +11,7 @@
 
 #include "objmem/ObjectMemory.h"
 #include "support/Assert.h"
+#include "support/Panic.h"
 
 using namespace mst;
 
@@ -54,7 +55,7 @@ ObjectHeader *Scavenger::copyObject(ObjectHeader *Obj) {
     return Obj->forwardee();
 
   size_t Total = Obj->totalBytes();
-  uint8_t NewAge = static_cast<uint8_t>(Obj->Age + 1);
+  uint8_t NewAge = Obj->Age < 255 ? static_cast<uint8_t>(Obj->Age + 1) : 255;
   bool Tenure = NewAge >= OM.Config.TenureAge;
 
   uint8_t *Dest = nullptr;
@@ -63,8 +64,27 @@ ObjectHeader *Scavenger::copyObject(ObjectHeader *Obj) {
     if (!Dest)
       Tenure = true; // Survivor space overflow: tenure early.
   }
-  if (Tenure)
+  if (Tenure) {
     Dest = OM.Old.allocate(Total);
+    if (!Dest) {
+      // Old space is at the heap ceiling. The object must still move —
+      // eden is about to be reset — so keep it young in the survivor
+      // space for another round and let the mutator's recovery ladder
+      // deal with the pressure once the world restarts.
+      Dest = ToSpace->tryBumpAtomic(Total);
+      Tenure = false;
+      if (!Dest) {
+        // Both refused. Evacuation cannot back out — forwarding pointers
+        // are already installed — so overshoot the ceiling rather than
+        // wedge: at worst one young generation of live bytes. The ladder
+        // refuses mutator allocation while used() sits past the ceiling,
+        // so the overshoot drains instead of compounding.
+        Dest = OM.Old.allocateOverCeiling(Total);
+        Tenure = true;
+        OM.OvershootCtr.add(Total);
+      }
+    }
+  }
 
   auto *Copy = reinterpret_cast<ObjectHeader *>(Dest);
   // The body is immutable while the world is stopped, so a plain memcpy is

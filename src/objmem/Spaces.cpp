@@ -10,6 +10,7 @@
 
 #include "objmem/ObjectHeader.h"
 #include "support/Assert.h"
+#include "vkernel/Chaos.h"
 
 using namespace mst;
 
@@ -110,14 +111,47 @@ uint8_t *OldSpace::takeFromFreeLists(size_t Bytes) {
 }
 
 uint8_t *OldSpace::allocate(size_t Bytes) {
+  return allocateImpl(Bytes, /*OverCeiling=*/false);
+}
+
+uint8_t *OldSpace::allocateOverCeiling(size_t Bytes) {
+  return allocateImpl(Bytes, /*OverCeiling=*/true);
+}
+
+uint8_t *OldSpace::allocateImpl(size_t Bytes, bool OverCeiling) {
   assert(Bytes % 8 == 0 && "old-space requests must be 8-byte multiples");
   assert(Bytes >= MinBlockBytes && "request smaller than a header");
   SpinLockGuard Guard(Lock);
+  // The ceiling bounds live old-space bytes, not just chunk growth:
+  // serving a request past it — even from a recycled block — would let a
+  // heap the evacuator overshot keep absorbing allocations forever
+  // instead of surfacing out-of-memory to the recovery ladder.
+  if (!OverCeiling && Ceiling &&
+      Used.load(std::memory_order_relaxed) + Bytes > Ceiling)
+    return nullptr;
   if (uint8_t *Recycled = takeFromFreeLists(Bytes)) {
     Used.fetch_add(Bytes, std::memory_order_relaxed);
     return Recycled;
   }
   if (Cur == nullptr || Cur + Bytes > Limit) {
+    // Growth needs a fresh chunk. Refuse — leaving the current chunk
+    // intact — when that would push usable capacity past the ceiling, or
+    // when fault injection asks this growth to fail; the caller walks the
+    // recovery ladder instead. Over-ceiling callers cannot back out (an
+    // evacuation mid-copy) or recover (raw-oop metadata allocation), so
+    // for them the ceiling and the injected fault are both waived.
+    size_t NewChunk = ChunkBytes > Bytes + 16 ? ChunkBytes : Bytes + 16;
+    if (Ceiling && !OverCeiling) {
+      size_t Have = Capacity.load(std::memory_order_relaxed);
+      size_t Avail = Ceiling > Have ? Ceiling - Have : 0;
+      if (Avail < Bytes)
+        return nullptr;
+      // Shrink the final chunk to exactly what the ceiling still allows.
+      if (NewChunk - 16 > Avail)
+        NewChunk = Avail + 16;
+    }
+    if (!OverCeiling && chaos::failPoint("oldspace.grow.fail"))
+      return nullptr;
     // Retire the current chunk: donate a parseable tail to the free lists;
     // a sliver smaller than a header is abandoned (the chunk walk stops at
     // Top, so it is never misread as an object).
@@ -130,7 +164,6 @@ uint8_t *OldSpace::allocate(size_t Bytes) {
         Chunks.back().Top = Cur;
       }
     }
-    size_t NewChunk = ChunkBytes > Bytes + 16 ? ChunkBytes : Bytes + 16;
     Chunk C;
     C.Mem = std::make_unique<uint8_t[]>(NewChunk);
     auto Raw = reinterpret_cast<uintptr_t>(C.Mem.get());
@@ -144,6 +177,8 @@ uint8_t *OldSpace::allocate(size_t Bytes) {
   uint8_t *Result = Cur;
   Cur += Bytes;
   Used.fetch_add(Bytes, std::memory_order_relaxed);
+  BumpRemaining.store(static_cast<size_t>(Limit - Cur),
+                      std::memory_order_relaxed);
   return Result;
 }
 

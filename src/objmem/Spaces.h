@@ -102,9 +102,32 @@ public:
       : ChunkBytes(ChunkBytes), Lock(LocksEnabled, "oldspace") {}
 
   /// Allocates \p Bytes from old space, preferring a recycled free block
-  /// over bump allocation. Never fails short of exhausting the host's
-  /// memory. \returns the block.
+  /// over bump allocation. Growth respects the configured ceiling: when
+  /// satisfying the request needs a new chunk that would push usable
+  /// capacity past setCeiling() — or when fault injection refuses the
+  /// growth ("oldspace.grow.fail") — allocation fails instead of taking
+  /// more memory from the host. \returns the block, or nullptr on
+  /// refusal; callers walk the memory-pressure recovery ladder, or fall
+  /// back to allocateOverCeiling() when no rung is sound for them.
   uint8_t *allocate(size_t Bytes);
+
+  /// allocate() for callers that can neither back out nor walk the
+  /// recovery ladder: an evacuation mid-copy (forwarding pointers already
+  /// installed) and VM-metadata allocation (compiled methods, symbols —
+  /// raw-oop holders that must not trigger a moving collection). Ignores
+  /// the ceiling (and fault injection) and overshoots rather than wedge
+  /// or panic. The overshoot is bounded — by the young generation being
+  /// evacuated, or by the program text driving the compiler — and the
+  /// pressure ladder refuses mutator work while used() stays at or past
+  /// the ceiling, so it is transient, not a leak.
+  uint8_t *allocateOverCeiling(size_t Bytes);
+
+  /// Caps usable capacity at \p Bytes (0 = unbounded). Set before the
+  /// space is shared between threads; allocate() reads it unlocked.
+  void setCeiling(size_t Bytes) { Ceiling = Bytes; }
+
+  /// \returns the usable-capacity ceiling (0 = unbounded).
+  size_t ceiling() const { return Ceiling; }
 
   /// \returns bytes currently held by live allocations (bump allocations
   /// plus free-list reuse, minus bytes reclaimed by sweeps).
@@ -112,6 +135,14 @@ public:
 
   /// \returns bytes currently parked on the free lists.
   size_t freeBytes() const { return FreeBytes.load(std::memory_order_relaxed); }
+
+  /// \returns un-carved bytes left in the open chunk's bump region —
+  /// obtainable without growing, but on neither the free lists nor
+  /// used(). Headroom accounting must include it or it undercounts by up
+  /// to a whole chunk. Racy snapshot; exact only with allocation quiesced.
+  size_t bumpRemaining() const {
+    return BumpRemaining.load(std::memory_order_relaxed);
+  }
 
   /// \returns total usable bytes across all chunks.
   size_t capacity() const { return Capacity.load(std::memory_order_relaxed); }
@@ -158,6 +189,10 @@ private:
     uint8_t *Top = nullptr;  // walkable end: headers cover [Base, Top)
   };
 
+  /// allocate()/allocateOverCeiling() shared body; OverCeiling skips the
+  /// ceiling refusal and the injected growth fault.
+  uint8_t *allocateImpl(size_t Bytes, bool OverCeiling);
+
   /// Formats and threads a free block onto the fitting list. Lock held.
   void pushFreeBlockLocked(uint8_t *P, size_t Bytes);
 
@@ -172,6 +207,7 @@ private:
   bool containsLocked(const uint8_t *B) const;
 
   size_t ChunkBytes;
+  size_t Ceiling = 0; // usable-capacity cap; 0 = unbounded
   SpinLock Lock;
   std::vector<Chunk> Chunks;
   uint8_t *Cur = nullptr;
@@ -179,6 +215,7 @@ private:
   std::atomic<size_t> Used{0};
   std::atomic<size_t> FreeBytes{0};
   std::atomic<size_t> Capacity{0};
+  std::atomic<size_t> BumpRemaining{0}; // Limit - Cur, published per alloc.
   /// Heads of the per-size-class lists ([NumExactClasses] is overflow);
   /// links live in the blocks' class words.
   uint8_t *FreeHeads[NumExactClasses + 1] = {};

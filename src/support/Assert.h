@@ -8,7 +8,9 @@
 /// Assertion helpers shared by every library in the system. We follow the
 /// LLVM convention of asserting liberally with a message, and of marking
 /// impossible control flow with an explicit unreachable that aborts even in
-/// release builds.
+/// release builds. The abort itself routes through the panic funnel
+/// (support/Panic.h) so invariant failures leave a postmortem dump, not a
+/// single stderr line.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -16,25 +18,7 @@
 #define MST_SUPPORT_ASSERT_H
 
 #include <cassert>
-#include <cstdio>
-#include <cstdlib>
 
-namespace mst {
-
-/// Aborts the program after printing \p Msg with source location context.
-/// Used for control flow that must never be reached if the VM's invariants
-/// hold (e.g. an undefined bytecode after the compiler validated a method).
-[[noreturn]] inline void unreachableImpl(const char *Msg, const char *File,
-                                         int Line) {
-  std::fprintf(stderr, "UNREACHABLE executed at %s:%d: %s\n", File, Line, Msg);
-  std::abort();
-}
-
-} // namespace mst
-
-/// Marks a point in code that must never execute. Unlike assert, this fires
-/// in all build modes: an unknown bytecode or corrupt header is never safe to
-/// run past.
-#define MST_UNREACHABLE(MSG) ::mst::unreachableImpl(MSG, __FILE__, __LINE__)
+#include "support/Panic.h" // unreachableImpl / MST_UNREACHABLE
 
 #endif // MST_SUPPORT_ASSERT_H

@@ -1,0 +1,140 @@
+//===-- support/Panic.cpp - Fatal-path funnel and postmortem dump ---------===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Panic.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+#include "obs/Telemetry.h"
+#include "obs/TraceBuffer.h"
+
+using namespace mst;
+
+namespace {
+
+struct Section {
+  int Id;
+  std::string Title;
+  std::function<std::string()> Body;
+};
+
+/// Registry state. A plain mutex is fine: registration happens at VM
+/// construction, and a panic is never on a fast path. None of the fatal
+/// paths hold this mutex, so the dump builder may take it.
+struct PanicState {
+  std::mutex Mutex;
+  std::vector<Section> Sections;
+  int NextId = 1;
+  std::function<void(const std::string &)> Handler;
+};
+
+PanicState &state() {
+  static PanicState S;
+  return S;
+}
+
+Counter &panicCtr() {
+  static Counter C{"vm.panic"};
+  return C;
+}
+
+std::string buildDump(const std::string &Reason) {
+  std::string Dump = "=== VM panic ===\nreason: " + Reason + "\n";
+  {
+    PanicState &S = state();
+    std::lock_guard<std::mutex> Guard(S.Mutex);
+    for (const Section &Sec : S.Sections) {
+      Dump += "--- " + Sec.Title + " ---\n";
+      Dump += Sec.Body();
+      if (Dump.empty() || Dump.back() != '\n')
+        Dump += '\n';
+    }
+  }
+  Telemetry::Snapshot Snap = Telemetry::snapshot();
+  Dump += "--- telemetry ---\n";
+  for (const auto &[Name, V] : Snap.Counters)
+    Dump += Name + " = " + std::to_string(V) + "\n";
+  for (const auto &[Name, V] : Snap.Gauges)
+    Dump += Name + " = " + std::to_string(V) + " (gauge)\n";
+  Dump += "=== end panic dump ===\n";
+  return Dump;
+}
+
+} // namespace
+
+int mst::panicRegisterSection(const std::string &Title,
+                              std::function<std::string()> Body) {
+  PanicState &S = state();
+  std::lock_guard<std::mutex> Guard(S.Mutex);
+  int Id = S.NextId++;
+  S.Sections.push_back({Id, Title, std::move(Body)});
+  return Id;
+}
+
+void mst::panicUnregisterSection(int Id) {
+  PanicState &S = state();
+  std::lock_guard<std::mutex> Guard(S.Mutex);
+  for (size_t I = 0; I < S.Sections.size(); ++I)
+    if (S.Sections[I].Id == Id) {
+      S.Sections.erase(S.Sections.begin() + I);
+      return;
+    }
+}
+
+void mst::setPanicHandler(std::function<void(const std::string &)> Handler) {
+  PanicState &S = state();
+  std::lock_guard<std::mutex> Guard(S.Mutex);
+  S.Handler = std::move(Handler);
+}
+
+bool mst::panicReport(const std::string &Reason) {
+  // A section that itself panics would recurse forever; degrade to the
+  // bare abort the panic layer replaced.
+  static thread_local bool InPanic = false;
+  if (InPanic) {
+    std::fprintf(stderr, "recursive panic: %s\n", Reason.c_str());
+    std::abort();
+  }
+  InPanic = true;
+  panicCtr().add();
+  std::string Dump = buildDump(Reason);
+  std::function<void(const std::string &)> Handler;
+  {
+    PanicState &S = state();
+    std::lock_guard<std::mutex> Guard(S.Mutex);
+    Handler = S.Handler;
+  }
+  InPanic = false;
+  if (Handler) {
+    Handler(Dump);
+    return true;
+  }
+  std::fputs(Dump.c_str(), stderr);
+  // Flush the trace rings too: the events leading up to the panic are the
+  // most valuable part of a postmortem, but they only exist when tracing
+  // was on.
+  if (Telemetry::tracingEnabled() &&
+      writeChromeTrace("mst-panic-trace.json"))
+    std::fputs("trace flushed to mst-panic-trace.json\n", stderr);
+  return false;
+}
+
+void mst::panic(const std::string &Reason) {
+  panicReport(Reason);
+  std::abort();
+}
+
+uint64_t mst::panicCount() {
+  return panicCtr().value();
+}
+
+void mst::unreachableImpl(const char *Msg, const char *File, int Line) {
+  panic("UNREACHABLE executed at " + std::string(File) + ":" +
+        std::to_string(Line) + ": " + Msg);
+}

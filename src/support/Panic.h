@@ -1,0 +1,83 @@
+//===-- support/Panic.h - Fatal-path funnel and postmortem dump -*- C++ -*-===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One funnel for every fatal path in the VM — failed invariants
+/// (MST_UNREACHABLE), heap-verification failures, old-space exhaustion
+/// where no recovery ladder exists, bootstrap corruption, and the
+/// safepoint watchdog. Instead of a bare abort() scattering its one line
+/// to stderr, a panic emits a *postmortem dump*: every registered
+/// subsystem section (per-VP interpreter state, safepoint mutator table,
+/// lock owners/waiters, bounded heap summary) followed by a telemetry
+/// counter snapshot, so a wedged or corrupted VM leaves enough evidence to
+/// diagnose without a debugger attached.
+///
+/// Two entry points:
+///  - panic(reason): [[noreturn]] — dump, then abort. For states the
+///    process cannot survive.
+///  - panicReport(reason): dump and *return*, telling the caller whether a
+///    handler consumed it. The safepoint watchdog uses this: under test a
+///    handler captures the dump and the rendezvous keeps waiting; in
+///    production there is no handler and the watchdog escalates to abort
+///    rather than hang forever.
+///
+/// Sections must be written defensively: they run on whatever thread
+/// panicked, possibly mid-GC, so they may only read atomics / take locks
+/// that the fatal paths provably do not hold.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MST_SUPPORT_PANIC_H
+#define MST_SUPPORT_PANIC_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace mst {
+
+/// Registers a named dump section; \p Body is invoked on every panic to
+/// render the section. \returns an id for panicUnregisterSection.
+int panicRegisterSection(const std::string &Title,
+                         std::function<std::string()> Body);
+
+/// Removes a section registered by panicRegisterSection. Objects owning
+/// captured state (a VM, an ObjectMemory) must unregister before dying.
+void panicUnregisterSection(int Id);
+
+/// Installs \p Handler to consume panic dumps instead of stderr (tests
+/// asserting on dump contents; embedders routing to their own logs).
+/// Pass nullptr to restore the default stderr sink. The handler runs on
+/// the panicking thread and must not itself panic.
+void setPanicHandler(std::function<void(const std::string &)> Handler);
+
+/// Builds the postmortem dump for \p Reason, bumps the vm.panic counter,
+/// and delivers the dump to the installed handler (\returns true) or to
+/// stderr (\returns false). Does not terminate the process — callers with
+/// an unsurvivable state use panic() instead.
+bool panicReport(const std::string &Reason);
+
+/// The final rung: postmortem dump, then abort().
+[[noreturn]] void panic(const std::string &Reason);
+
+/// \returns how many panics (fatal or reported) this process has raised.
+uint64_t panicCount();
+
+/// Aborts the program after printing \p Msg with source location context.
+/// Used for control flow that must never be reached if the VM's invariants
+/// hold (e.g. an undefined bytecode after the compiler validated a
+/// method). Routed through panic() so the postmortem dump fires.
+[[noreturn]] void unreachableImpl(const char *Msg, const char *File,
+                                  int Line);
+
+} // namespace mst
+
+/// Marks a point in code that must never execute. Unlike assert, this fires
+/// in all build modes: an unknown bytecode or corrupt header is never safe to
+/// run past.
+#define MST_UNREACHABLE(MSG) ::mst::unreachableImpl(MSG, __FILE__, __LINE__)
+
+#endif // MST_SUPPORT_PANIC_H

@@ -9,6 +9,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
+#include <mutex>
 #include <thread>
 
 #include "support/SplitMix64.h"
@@ -18,6 +20,7 @@ using namespace mst;
 using namespace mst::chaos;
 
 std::atomic<bool> detail::On{false};
+std::atomic<uint32_t> detail::FailArmed{0};
 
 namespace {
 
@@ -94,6 +97,30 @@ uint64_t mixSeed(uint64_t Seed, uint64_t Ordinal) {
   return R.next();
 }
 
+/// Armed fail points. Fixed-capacity like the point table, and matched by
+/// *content* (arm site and check site use distinct literals). An entry's
+/// Permille is the publication flag: failSlow() loads it acquire and skips
+/// zero entries, so the name bytes written before the release store are
+/// visible whenever the entry is live. Each hit draws from a stream keyed
+/// by (arm seed, hit ordinal) — cross-thread timing decides which thread
+/// gets which ordinal, but the fail/pass *sequence* replays by seed.
+constexpr size_t MaxFailPoints = 8;
+struct FailEntry {
+  char Name[48] = {};
+  std::atomic<uint32_t> Permille{0};
+  uint64_t Seed = 0;
+  std::atomic<uint64_t> Draws{0};
+  std::atomic<uint64_t> Fails{0};
+};
+FailEntry FailTable[MaxFailPoints];
+
+FailEntry *findFailEntry(const char *Point) {
+  for (FailEntry &E : FailTable)
+    if (E.Name[0] && std::strcmp(E.Name, Point) == 0)
+      return &E;
+  return nullptr;
+}
+
 /// The calling thread's decision stream, re-derived whenever the engine
 /// epoch changes (i.e. after every enable()).
 struct ThreadStream {
@@ -162,6 +189,82 @@ Action detail::perturb(const char *Point) {
   return A;
 }
 
+bool detail::failSlow(const char *Point) {
+  for (FailEntry &E : FailTable) {
+    uint32_t Pm = E.Permille.load(std::memory_order_acquire);
+    if (Pm == 0 || std::strcmp(E.Name, Point) != 0)
+      continue;
+    countPoint(Point);
+    uint64_t Ordinal = E.Draws.fetch_add(1, std::memory_order_relaxed);
+    SplitMix64 R(E.Seed ^ (Ordinal * 0x9e3779b97f4a7c15ULL));
+    if (R.next() % 1000 >= Pm)
+      return false;
+    E.Fails.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+void chaos::armFail(const char *Point, uint32_t Permille, uint64_t Seed) {
+  // Arm/disarm are test-setup operations; serialize them against each
+  // other (failSlow stays lock-free — the Permille store publishes).
+  static std::mutex ArmMutex;
+  std::lock_guard<std::mutex> Guard(ArmMutex);
+  FailEntry *E = findFailEntry(Point);
+  if (!E) {
+    for (FailEntry &Slot : FailTable)
+      if (!Slot.Name[0]) {
+        E = &Slot;
+        break;
+      }
+    if (!E)
+      return; // table full: drop (test-infrastructure capacity, not logic)
+  }
+  E->Permille.store(0, std::memory_order_release); // quiesce while rewriting
+  std::strncpy(E->Name, Point, sizeof(E->Name) - 1);
+  E->Name[sizeof(E->Name) - 1] = 0;
+  E->Seed = Seed;
+  E->Draws.store(0, std::memory_order_relaxed);
+  E->Fails.store(0, std::memory_order_relaxed);
+  E->Permille.store(Permille > 1000 ? 1000 : Permille,
+                    std::memory_order_release);
+  uint32_t Armed = 0;
+  for (FailEntry &Slot : FailTable)
+    if (Slot.Permille.load(std::memory_order_relaxed))
+      ++Armed;
+  detail::FailArmed.store(Armed, std::memory_order_release);
+}
+
+void chaos::disarmFail() {
+  detail::FailArmed.store(0, std::memory_order_relaxed);
+  for (FailEntry &E : FailTable)
+    E.Permille.store(0, std::memory_order_release);
+}
+
+uint64_t chaos::failCount(const char *Point) {
+  FailEntry *E = findFailEntry(Point);
+  return E ? E->Fails.load(std::memory_order_relaxed) : 0;
+}
+
+bool chaos::armFailFromEnv(uint64_t Seed) {
+  struct {
+    const char *Env;
+    const char *Point;
+  } Map[] = {{"MST_CHAOS_ALLOC_FAIL_PM", "alloc.fail"},
+             {"MST_CHAOS_GROW_FAIL_PM", "oldspace.grow.fail"},
+             {"MST_CHAOS_STALL_PM", "watchdog.stall"}};
+  bool Any = false;
+  for (auto &M : Map) {
+    const char *S = std::getenv(M.Env);
+    if (!S || !*S)
+      continue;
+    armFail(M.Point, static_cast<uint32_t>(std::strtoul(S, nullptr, 0)),
+            Seed);
+    Any = true;
+  }
+  return Any;
+}
+
 void chaos::enable(const Config &C) {
   // Quiesce the fast path, publish the new config + epoch, re-arm.
   detail::On.store(false, std::memory_order_relaxed);
@@ -202,6 +305,7 @@ bool chaos::enableFromEnv() {
   if (const char *S = std::getenv("MST_CHAOS_MAX_SLEEP_US"))
     C.MaxSleepMicros = static_cast<uint32_t>(std::strtoul(S, nullptr, 0));
   enable(C);
+  armFailFromEnv(C.Seed);
   return true;
 }
 

@@ -73,6 +73,12 @@ extern std::atomic<bool> On;
 
 /// Slow path, only reached while enabled.
 Action perturb(const char *Point);
+
+/// Number of armed fail points. Read relaxed on every failPoint().
+extern std::atomic<uint32_t> FailArmed;
+
+/// Slow path, only reached while at least one fail point is armed.
+bool failSlow(const char *Point);
 } // namespace detail
 
 /// The injection point. Call at every concurrency-critical boundary with
@@ -106,6 +112,47 @@ Config config();
 /// overrides) and enables the engine when a seed is present.
 /// \returns true when chaos was enabled from the environment.
 bool enableFromEnv();
+
+/// --- Fault injection ----------------------------------------------------
+/// Named *fail points* are the second half of the engine: where point()
+/// perturbs schedules, failPoint() injects operation failures (a refused
+/// allocation, a refused old-space growth, a mutator deliberately late to
+/// a rendezvous) so recovery paths run deterministically by seed. The two
+/// switches are independent: fail points stay armed across enable() /
+/// disable() epochs, and draw from their own per-point SplitMix64 streams
+/// keyed by (arm seed, hit ordinal) so a sweep replays exactly.
+
+/// The injection check. Call where an operation may be forced to fail,
+/// with a string-literal name ("alloc.fail", "oldspace.grow.fail", ...).
+/// One relaxed load when nothing is armed.
+/// \returns true when the caller must fail the operation.
+inline bool failPoint(const char *Point) {
+  if (detail::FailArmed.load(std::memory_order_relaxed) == 0)
+    return false;
+  return detail::failSlow(Point);
+}
+
+/// Arms fail point \p Point: each subsequent failPoint(Point) fails with
+/// probability \p Permille / 1000, decided by a SplitMix64 stream derived
+/// from \p Seed — same seed, same decision sequence. Permille 1000 fails
+/// every hit; 0 disarms just this point. Re-arming resets the point's
+/// stream and failure count. At most 8 distinct points may be armed.
+void armFail(const char *Point, uint32_t Permille, uint64_t Seed);
+
+/// Disarms every fail point. failPoint() returns to its one-load path;
+/// failure counts remain readable until the next armFail().
+void disarmFail();
+
+/// \returns how many failures \p Point has injected since it was armed.
+uint64_t failCount(const char *Point);
+
+/// Reads MST_CHAOS_ALLOC_FAIL_PM / MST_CHAOS_GROW_FAIL_PM /
+/// MST_CHAOS_STALL_PM and arms the corresponding fail points
+/// ("alloc.fail", "oldspace.grow.fail", "watchdog.stall") with \p Seed.
+/// The CI small-heap lane uses this to push fault injection into every
+/// stress binary without per-test plumbing.
+/// \returns true when at least one point was armed.
+bool armFailFromEnv(uint64_t Seed);
 
 /// Fixes the calling thread's stream ordinal. Threads that never call
 /// this get a process-unique ordinal at first use (deterministic only if

@@ -54,13 +54,9 @@ void mst::installMethod(ObjectModel &Om, MethodCache *Cache, Oop Cls,
 Oop mst::mustCompile(ObjectModel &Om, MethodCache *Cache, Oop Cls,
                      const std::string &Source) {
   CompileResult R = compileMethodSource(Om, Cls, Source);
-  if (!R.ok()) {
-    std::fprintf(stderr,
-                 "bootstrap compile error in %s: %s\nsource:\n%s\n",
-                 Om.className(Cls).c_str(), R.Error.c_str(),
-                 Source.c_str());
-    std::abort();
-  }
+  if (!R.ok())
+    panic("bootstrap compile error in " + Om.className(Cls) + ": " +
+          R.Error + "\nsource:\n" + Source);
   installMethod(Om, Cache, Cls, R.Method);
   return R.Method;
 }

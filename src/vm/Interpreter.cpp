@@ -291,6 +291,11 @@ void Interpreter::activateMethod(Oop Method, unsigned Argc) {
       CtxFixedSlots + static_cast<uint32_t>(Frame);
   // Method is an old-space oop: safe to hold across the GC point below.
   Oop NewCtx = allocateContext(SlotsNeeded, Om.known().ClassMethodContext);
+  if (NewCtx.isNull()) {
+    vmError("OutOfMemoryError: cannot allocate a method context (heap "
+            "ceiling reached)");
+    return;
+  }
 
   ObjectHeader *N = NewCtx.object();
   N->setClassOop(Om.known().ClassMethodContext);
@@ -333,6 +338,11 @@ void Interpreter::doesNotUnderstand(Oop Selector, unsigned Argc) {
   {
     Oop ArrRaw = OM.allocatePointers(K.ClassArray, Argc);
     reloadFrame();
+    if (ArrRaw.isNull()) {
+      vmError("OutOfMemoryError: cannot build the doesNotUnderstand: "
+              "message (heap ceiling reached)");
+      return;
+    }
     Handle Arr(HS, ArrRaw);
     for (unsigned I = 0; I < Argc; ++I)
       OM.storePointer(Arr.get(), I,
@@ -340,6 +350,11 @@ void Interpreter::doesNotUnderstand(Oop Selector, unsigned Argc) {
                                     1 + I]);
     Oop MsgRaw = OM.allocatePointers(K.ClassMessage, MessageSlotCount);
     reloadFrame();
+    if (MsgRaw.isNull()) {
+      vmError("OutOfMemoryError: cannot build the doesNotUnderstand: "
+              "message (heap ceiling reached)");
+      return;
+    }
     Handle Msg(HS, MsgRaw);
     OM.storePointer(Msg.get(), MsgSelector, Selector);
     OM.storePointer(Msg.get(), MsgArguments, Arr.get());
@@ -389,6 +404,11 @@ void Interpreter::doReturn(Oop Value, bool BlockReturn) {
 void Interpreter::doBlockCopy(unsigned NumArgs, unsigned Frame) {
   uint32_t SlotsNeeded = BlkFixedSlots + Frame;
   Oop B = allocateContext(SlotsNeeded, Om.known().ClassBlockContext);
+  if (B.isNull()) {
+    vmError("OutOfMemoryError: cannot allocate a block context (heap "
+            "ceiling reached)");
+    return;
+  }
   ObjectHeader *N = B.object();
   N->setClassOop(Om.known().ClassBlockContext);
 

@@ -163,6 +163,10 @@ Interpreter::PrimResult Interpreter::dispatchPrimitive(int Index,
     writeBackIp();
     Oop Inst = Om.instantiate(Recv, N);
     reloadFrame();
+    if (Inst.isNull()) {
+      vmError("OutOfMemoryError: basicNew failed (heap ceiling reached)");
+      return PrimResult::Success;
+    }
     return Replace(Inst);
   }
 
@@ -186,6 +190,11 @@ Interpreter::PrimResult Interpreter::dispatchPrimitive(int Index,
     if (H->Format == ObjectFormat::Bytes) {
       Copy = OM.allocateBytes(Om.classOf(Recv), H->ByteLength);
       reloadFrame();
+      if (Copy.isNull()) {
+        vmError("OutOfMemoryError: shallowCopy failed (heap ceiling "
+                "reached)");
+        return PrimResult::Success;
+      }
       // Refetch the receiver: the allocation may have moved it.
       Oop Src = topValue(Argc);
       copyBytesRelaxed(Copy.object()->bytes(), Src.object()->bytes(),
@@ -193,6 +202,11 @@ Interpreter::PrimResult Interpreter::dispatchPrimitive(int Index,
     } else {
       Copy = OM.allocatePointers(Om.classOf(Recv), H->SlotCount);
       reloadFrame();
+      if (Copy.isNull()) {
+        vmError("OutOfMemoryError: shallowCopy failed (heap ceiling "
+                "reached)");
+        return PrimResult::Success;
+      }
       Oop Src = topValue(Argc);
       for (uint32_t I = 0; I < Src.object()->SlotCount; ++I)
         OM.storePointer(Copy, I, ObjectMemory::fetchPointer(Src, I));
@@ -257,6 +271,10 @@ Interpreter::PrimResult Interpreter::dispatchPrimitive(int Index,
     writeBackIp();
     Oop Str = Om.makeString(Text);
     reloadFrame();
+    if (Str.isNull()) {
+      vmError("OutOfMemoryError: asString failed (heap ceiling reached)");
+      return PrimResult::Success;
+    }
     return Replace(Str);
   }
 
@@ -348,6 +366,10 @@ Interpreter::PrimResult Interpreter::dispatchPrimitive(int Index,
     uint32_t Slots = Recv.object()->SlotCount;
     Oop NewBlk = OM.allocateContextObject(K.ClassBlockContext, Slots);
     reloadFrame();
+    if (NewBlk.isNull()) {
+      vmError("OutOfMemoryError: newProcess failed (heap ceiling reached)");
+      return PrimResult::Success;
+    }
     // Refetch the (possibly moved) receiver block.
     Oop Blk = topValue(Argc);
     ObjectHeader *B = Blk.object();
@@ -365,6 +387,10 @@ Interpreter::PrimResult Interpreter::dispatchPrimitive(int Index,
     Oop Proc = VM.scheduler().createProcess(NewBlk, static_cast<int>(Prio),
                                             "forked");
     reloadFrame();
+    if (Proc.isNull()) {
+      vmError("OutOfMemoryError: newProcess failed (heap ceiling reached)");
+      return PrimResult::Success;
+    }
     return Replace(Proc);
   }
 
@@ -466,6 +492,10 @@ Interpreter::PrimResult Interpreter::dispatchPrimitive(int Index,
     writeBackIp();
     Oop Arr = OM.allocatePointers(K.ClassArray, 4);
     reloadFrame();
+    if (Arr.isNull()) {
+      vmError("OutOfMemoryError: nextEvent failed (heap ceiling reached)");
+      return PrimResult::Success;
+    }
     OM.storePointer(Arr, 0,
                     Oop::fromSmallInt(static_cast<intptr_t>(E.Type)));
     OM.storePointer(Arr, 1, Oop::fromSmallInt(E.A));
@@ -509,6 +539,10 @@ Interpreter::PrimResult Interpreter::dispatchPrimitive(int Index,
     writeBackIp();
     Oop Str = Om.makeString(Text);
     reloadFrame();
+    if (Str.isNull()) {
+      vmError("OutOfMemoryError: decompile failed (heap ceiling reached)");
+      return PrimResult::Success;
+    }
     return Replace(Str);
   }
 
@@ -577,6 +611,19 @@ Interpreter::PrimResult Interpreter::dispatchPrimitive(int Index,
     OM.fullCollect();
     reloadFrame();
     return Replace(Om.nil());
+  }
+
+  case PrimLowSpaceSemaphore: {
+    // receiver lowSpaceSemaphore: aSemaphoreOrNil.
+    Oop Sem = topValue(0);
+    if (Sem == Nil) {
+      VM.setLowSpaceSemaphore(Oop());
+      return Replace(Recv);
+    }
+    if (!Sem.isPointer() || !Om.isKindOf(Sem, K.ClassSemaphore))
+      return PrimResult::Fail;
+    VM.setLowSpaceSemaphore(Sem);
+    return Replace(Recv);
   }
 
   case PrimErrorReport: {

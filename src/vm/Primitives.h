@@ -74,6 +74,8 @@ enum Primitive : int {
   PrimForceScavenge = 62,
   PrimErrorReport = 63,
   PrimFullGC = 64, ///< fullCollect — scavenge + mark-sweep of old space
+  PrimLowSpaceSemaphore = 65, ///< registers the low-space Semaphore
+                              ///< (Smalltalk-80's lowSpaceSemaphore:)
   PrimPerformWith = 70, ///< perform: selector withArguments: array
 };
 

@@ -93,6 +93,8 @@ Oop Scheduler::createProcess(Oop InitialContext, int Priority,
   Handle Proc(OM.handles(),
               OM.allocatePointers(Om.known().ClassProcess,
                                   ProcessSlotCount));
+  if (Proc.get().isNull())
+    return Oop(); // Out of memory; the caller reports the failure.
   Oop NameStr = Name.empty() ? Om.nil() : Om.makeString(Name);
   OM.storePointer(Proc.get(), ProcNextLink, Om.nil());
   OM.storePointer(Proc.get(), ProcSuspendedContext, Ctx.get());

@@ -12,6 +12,7 @@
 #include "obs/Telemetry.h"
 #include "support/Assert.h"
 #include "support/Format.h"
+#include "support/Panic.h"
 #include "vm/Compiler.h"
 
 using namespace mst;
@@ -76,12 +77,47 @@ VirtualMachine::VirtualMachine(const VmConfig &Config)
     for (auto &W : Workers)
       VisitRoots(*W);
     VisitRoots(*Driver);
+    V(&LowSpaceSem);
+  });
+
+  // The memory's low-space notification: signal the registered Smalltalk
+  // semaphore. Runs with the world stopped — semaphoreSignal never
+  // allocates, so this is a legal callback.
+  OM->setLowSpaceCallback([this] {
+    if (LowSpaceSem.isPointer())
+      Sched->semaphoreSignal(LowSpaceSem);
+  });
+
+  VmPanicSection = panicRegisterSection("vm", [this] {
+    std::string Out;
+    auto Describe = [&Out](const char *Kind, Interpreter &I) {
+      Out += std::string(Kind) + " " + std::to_string(I.id()) + ": " +
+             std::to_string(I.bytecodesExecuted()) + " bytecodes, " +
+             std::to_string(I.sendsExecuted()) + " sends\n";
+    };
+    for (auto &W : Workers)
+      Describe("worker", *W);
+    Describe("driver", *Driver);
+    std::lock_guard<std::mutex> Guard(ErrorMutex);
+    Out += "logged errors: " + std::to_string(ErrorLog.size()) + "\n";
+    for (const auto &E : ErrorLog)
+      Out += "  " + E + "\n";
+    return Out;
   });
 }
 
 VirtualMachine::~VirtualMachine() {
+  panicUnregisterSection(VmPanicSection);
   shutdown();
+  // The callback captures this; the memory outlives the scheduler in the
+  // member order, so clear it before teardown begins.
+  OM->setLowSpaceCallback(nullptr);
   OM->unregisterMutator();
+}
+
+void VirtualMachine::setLowSpaceSemaphore(Oop Sem) {
+  std::lock_guard<std::mutex> Guard(LowSpaceMutex);
+  LowSpaceSem = Sem;
 }
 
 void VirtualMachine::startInterpreters() {
@@ -117,6 +153,8 @@ Oop VirtualMachine::buildBottomContext(Oop Method, Oop Receiver) {
     Slots = SmallContextSlots;
   Oop Ctx = OM->allocateContextObject(Om->known().ClassMethodContext,
                                       Slots);
+  if (Ctx.isNull())
+    return Oop(); // Out of memory; the caller reports the failure.
   ObjectHeader *N = Ctx.object();
   Oop *NS = N->slots();
   NS[CtxSender] = Om->nil();
@@ -136,6 +174,10 @@ Oop VirtualMachine::compileAndRun(const std::string &Source) {
     return Oop();
   }
   Oop Ctx = buildBottomContext(R.Method, Om->nil());
+  if (Ctx.isNull()) {
+    logError("doIt failed: out of memory building the bottom context");
+    return Oop();
+  }
   return Driver->runToCompletion(Ctx);
 }
 
@@ -148,7 +190,15 @@ Oop VirtualMachine::forkDoIt(const std::string &Source, int Priority,
     return Oop();
   }
   Oop Ctx = buildBottomContext(R.Method, Om->nil());
+  if (Ctx.isNull()) {
+    logError("forkDoIt failed: out of memory building the bottom context");
+    return Oop();
+  }
   Oop Proc = Sched->createProcess(Ctx, Priority, Name);
+  if (Proc.isNull()) {
+    logError("forkDoIt failed: out of memory creating the Process");
+    return Oop();
+  }
   Sched->addReadyProcess(Proc);
   return Proc;
 }

@@ -122,6 +122,17 @@ public:
   /// with no arguments. GC point.
   Oop buildBottomContext(Oop Method, Oop Receiver);
 
+  /// --- Low-space notification ---------------------------------------------
+
+  /// Registers \p Sem (a Semaphore, or nil to clear) as the low-space
+  /// semaphore, mirroring Smalltalk-80's `lowSpaceSemaphore`. The memory
+  /// signals it when free headroom first drops below the configured
+  /// watermark; a Smalltalk process waiting on it can release caches or
+  /// warn the user before the OutOfMemoryError rung is reached.
+  void setLowSpaceSemaphore(Oop Sem);
+
+  Oop lowSpaceSemaphore() const { return LowSpaceSem; }
+
   /// --- Host signals (benchmark completion notification) -------------------
 
   /// Creates a host signal slot. Smalltalk signals it via
@@ -187,6 +198,17 @@ private:
 
   std::mutex ErrorMutex;
   std::vector<std::string> ErrorLog;
+
+  /// The registered low-space Semaphore (nil when none). A GC root; the
+  /// mutex serializes rival registrations — the GC-time read and in-place
+  /// update happen with every mutator parked, which the safepoint protocol
+  /// already orders after any registration.
+  std::mutex LowSpaceMutex;
+  Oop LowSpaceSem;
+
+  /// Panic-dump section describing the interpreters; unregistered in the
+  /// destructor.
+  int VmPanicSection = -1;
 
   Stopwatch Uptime;
 };

@@ -14,6 +14,7 @@
 
 #include <cctype>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -23,6 +24,8 @@
 #include "obs/Histogram.h"
 #include "obs/Telemetry.h"
 #include "obs/TraceBuffer.h"
+#include "objmem/ObjectMemory.h"
+#include "support/Panic.h"
 #include "vkernel/Chaos.h"
 #include "vkernel/SpinLock.h"
 
@@ -490,6 +493,91 @@ TEST(TelemetryTest, EnabledSpinLockCountsAcquisitions) {
   EXPECT_EQ(counterOf(Telemetry::snapshot(),
                       "lock.testenabled.acquisitions"),
             12u);
+}
+
+//===----------------------------------------------------------------------===//
+// Memory-pressure instrumentation: the ladder counters, the low-space
+// signal counter, the headroom gauge, and the vm.panic counter
+//===----------------------------------------------------------------------===//
+
+TEST(TelemetryTest, RecoveryLadderCountersReportEveryRungByName) {
+  MemoryConfig C;
+  C.EdenBytes = 64u * 1024;
+  C.SurvivorBytes = 32u * 1024;
+  C.OldChunkBytes = 64u * 1024;
+  C.MaxHeapBytes = C.EdenBytes + 2 * C.SurvivorBytes + 128u * 1024;
+  C.LowSpaceWatermarkBytes = 64u * 1024;
+  ObjectMemory OM(C);
+  OM.registerMutator("telemetry-pressure");
+  Oop Nil = OM.allocateOldPointers(Oop(), 0);
+  OM.setNil(Nil);
+  Oop FakeClass = OM.allocateOldPointers(Nil, 0);
+
+  auto Ctr = [](const char *Name) {
+    return counterOf(Telemetry::snapshot(), Name);
+  };
+  const uint64_t Scavenge0 = Ctr("mem.pressure.ladder.scavenge");
+  const uint64_t FullGc0 = Ctr("mem.pressure.ladder.fullgc");
+  const uint64_t Grow0 = Ctr("mem.pressure.ladder.grow");
+  const uint64_t Oom0 = Ctr("mem.pressure.ladder.oom");
+  const uint64_t LowSpace0 = Ctr("gc.lowspace.signals");
+
+  // Rungs 1 and 3: with every eden attempt refused by injection, one
+  // allocation runs exactly three pressure scavenges and one divert.
+  chaos::armFail("alloc.fail", 1000, 1);
+  Oop Diverted = OM.allocatePointers(FakeClass, 4);
+  chaos::disarmFail();
+  ASSERT_FALSE(Diverted.isNull());
+  EXPECT_EQ(Ctr("mem.pressure.ladder.scavenge"), Scavenge0 + 3);
+  EXPECT_EQ(Ctr("mem.pressure.ladder.grow"), Grow0 + 1);
+
+  // Rungs 2 and 4: retained oversized allocations exhaust the ceiling —
+  // the full-collection rung runs, fails to help, and the walk ends in
+  // the out-of-memory rung. On the way down, headroom crosses the
+  // watermark and the low-space signal fires.
+  std::vector<std::unique_ptr<Handle>> Live;
+  bool SawNull = false;
+  for (int I = 0; I < 20 && !SawNull; ++I) {
+    Oop O = OM.allocateBytes(FakeClass, 32u * 1024);
+    if (O.isNull())
+      SawNull = true;
+    else
+      Live.push_back(std::make_unique<Handle>(OM.handles(), O));
+  }
+  EXPECT_TRUE(SawNull);
+  EXPECT_GE(Ctr("mem.pressure.ladder.fullgc"), FullGc0 + 1);
+  EXPECT_GE(Ctr("mem.pressure.ladder.oom"), Oom0 + 1);
+  EXPECT_GE(Ctr("gc.lowspace.signals"), LowSpace0 + 1);
+
+  // The headroom gauge is registered under its exact name.
+  bool FoundHeadroom = false;
+  for (const auto &[N, V] : Telemetry::snapshot().Gauges)
+    if (N == "mem.headroom") {
+      FoundHeadroom = true;
+      EXPECT_EQ(V, OM.headroomBytes());
+    }
+  EXPECT_TRUE(FoundHeadroom);
+
+  while (!Live.empty())
+    Live.pop_back();
+  OM.unregisterMutator();
+}
+
+TEST(TelemetryTest, PanicReportBumpsVmPanicCounterAndBuildsDump) {
+  const uint64_t Before = counterOf(Telemetry::snapshot(), "vm.panic");
+  std::string Captured;
+  setPanicHandler([&Captured](const std::string &D) { Captured = D; });
+  // With a handler installed panicReport returns instead of aborting.
+  EXPECT_TRUE(panicReport("telemetry probe"));
+  setPanicHandler(nullptr);
+  EXPECT_EQ(counterOf(Telemetry::snapshot(), "vm.panic"), Before + 1);
+  EXPECT_EQ(panicCount(), Before + 1);
+  EXPECT_NE(Captured.find("=== VM panic ==="), std::string::npos);
+  EXPECT_NE(Captured.find("reason: telemetry probe"), std::string::npos);
+  // The dump embeds the counter snapshot, vm.panic itself included.
+  EXPECT_NE(Captured.find("--- telemetry ---"), std::string::npos);
+  EXPECT_NE(Captured.find("vm.panic"), std::string::npos);
+  EXPECT_NE(Captured.find("=== end panic dump ==="), std::string::npos);
 }
 
 } // namespace

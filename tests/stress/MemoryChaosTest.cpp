@@ -1,0 +1,226 @@
+//===-- tests/stress/MemoryChaosTest.cpp - Fault-injection storms ---------===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic fault injection against the memory-pressure recovery
+/// ladder: seeded alloc.fail storms force the scavenge/divert rungs under
+/// concurrent mutators, oldspace.grow.fail forces the full-collection and
+/// out-of-memory rungs, and watchdog.stall makes a mutator deliberately
+/// late to the rendezvous so the safepoint watchdog must dump-and-name it
+/// instead of hanging the suite. After every storm the heap must verify.
+///
+//===----------------------------------------------------------------------===//
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "TestVm.h"
+#include "objmem/ObjectMemory.h"
+#include "stress/StressSupport.h"
+#include "support/Panic.h"
+
+using namespace mst;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// alloc.fail: eden attempts refused at random, multi-threaded
+//===----------------------------------------------------------------------===//
+
+TEST(MemoryChaosTest, AllocFaultStormKeepsHeapConsistent) {
+  const int PerThread = stressScale(2500, 500);
+  for (uint64_t Seed : chaosSeeds()) {
+    SCOPED_TRACE(seedTag(Seed));
+    MemoryConfig C;
+    C.EdenBytes = 256u * 1024;
+    C.SurvivorBytes = 64u * 1024;
+    ObjectMemory OM(C);
+    OM.registerMutator("chaos-main");
+    Oop Nil = OM.allocateOldPointers(Oop(), 0);
+    OM.setNil(Nil);
+    Oop FakeClass = OM.allocateOldPointers(Nil, 0);
+
+    ScopedChaos Chaos(Seed);
+    chaos::armFail("alloc.fail", 200, Seed);
+
+    // Without a ceiling every ladder walk ends in old space, so no
+    // allocation may ever fail outright — however rudely the eden
+    // attempts are refused under the perturbed schedules.
+    std::atomic<uint64_t> Nulls{0};
+    constexpr unsigned Threads = 3;
+    std::vector<std::thread> Ts;
+    for (unsigned T = 0; T < Threads; ++T)
+      Ts.emplace_back([&OM, &Nulls, FakeClass, PerThread, T] {
+        chaos::setThreadOrdinal(T + 1);
+        OM.registerMutator("chaos-alloc-" + std::to_string(T));
+        for (int I = 0; I < PerThread; ++I) {
+          Oop O = I % 7 == 0 ? OM.allocateBytes(FakeClass, 1024)
+                             : OM.allocatePointers(FakeClass, 8);
+          if (O.isNull())
+            Nulls.fetch_add(1, std::memory_order_relaxed);
+        }
+        OM.unregisterMutator();
+      });
+    {
+      // The joining thread is a registered mutator: it must count as safe
+      // while it blocks, or no worker-triggered scavenge could ever start.
+      BlockedRegion Blocked(OM.safepoint());
+      for (auto &T : Ts)
+        T.join();
+    }
+
+    EXPECT_EQ(Nulls.load(), 0u);
+    EXPECT_GT(chaos::failCount("alloc.fail"), 0u);
+    std::string Err;
+    EXPECT_TRUE(OM.verifyHeap(&Err)) << Err;
+    OM.unregisterMutator();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// oldspace.grow.fail: growth refused, the fullgc/oom rungs must cope
+//===----------------------------------------------------------------------===//
+
+TEST(MemoryChaosTest, GrowthFaultSweepExercisesLowerRungs) {
+  const int Allocations = stressScale(120, 40);
+  for (uint64_t Seed : chaosSeeds()) {
+    SCOPED_TRACE(seedTag(Seed));
+    MemoryConfig C;
+    C.EdenBytes = 64u * 1024;
+    C.SurvivorBytes = 32u * 1024;
+    C.OldChunkBytes = 64u * 1024;
+    ObjectMemory OM(C);
+    OM.registerMutator("chaos-grow");
+    Oop Nil = OM.allocateOldPointers(Oop(), 0);
+    OM.setNil(Nil);
+    Oop FakeClass = OM.allocateOldPointers(Nil, 0);
+
+    ScopedChaos Chaos(Seed);
+    chaos::armFail("oldspace.grow.fail", 300, Seed);
+
+    // Oversized requests divert straight into old space; refused growth
+    // drops them to the full-collection rung, which reclaims the dead
+    // predecessors. An unlucky double refusal surfaces as a null oop —
+    // legal — but the heap must stay consistent either way.
+    uint64_t Nulls = 0;
+    for (int I = 0; I < Allocations; ++I) {
+      Oop O = OM.allocateBytes(FakeClass, 48u * 1024);
+      if (O.isNull())
+        ++Nulls;
+    }
+    chaos::disarmFail();
+    // With the faults disarmed the heap must be fully recovered: the next
+    // allocation walks the ladder and succeeds.
+    Oop After = OM.allocateBytes(FakeClass, 48u * 1024);
+    EXPECT_FALSE(After.isNull());
+    EXPECT_LT(Nulls, static_cast<uint64_t>(Allocations));
+    std::string Err;
+    EXPECT_TRUE(OM.verifyHeap(&Err)) << Err;
+    OM.unregisterMutator();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// watchdog.stall: a mutator late to the rendezvous is dumped, not waited
+// on forever
+//===----------------------------------------------------------------------===//
+
+TEST(MemoryChaosTest, WatchdogNamesStalledMutatorInsteadOfHanging) {
+  MemoryConfig C;
+  C.EdenBytes = 64u * 1024;
+  C.SurvivorBytes = 32u * 1024;
+  C.WatchdogMillis = 50;
+  ObjectMemory OM(C);
+  OM.registerMutator("coordinator");
+  Oop Nil = OM.allocateOldPointers(Oop(), 0);
+  OM.setNil(Nil);
+
+  std::mutex DumpMutex;
+  std::vector<std::string> Dumps;
+  setPanicHandler([&](const std::string &D) {
+    std::lock_guard<std::mutex> Guard(DumpMutex);
+    Dumps.push_back(D);
+  });
+
+  std::atomic<bool> Stop{false};
+  std::thread Laggard([&OM, &Stop] {
+    chaos::setThreadOrdinal(7);
+    OM.registerMutator("laggard");
+    while (!Stop.load(std::memory_order_relaxed)) {
+      if (OM.safepoint().pollNeeded())
+        OM.safepoint().pollSlow(); // Stalls well past the deadline.
+      std::this_thread::yield();
+    }
+    OM.unregisterMutator();
+  });
+  while (OM.safepoint().mutatorCount() < 2)
+    std::this_thread::yield();
+
+  // Every poll is deliberately late: the laggard sleeps 3x the watchdog
+  // deadline before reporting safe, so the coordinator must fire.
+  chaos::armFail("watchdog.stall", 1000, 1);
+  auto Start = std::chrono::steady_clock::now();
+  OM.scavengeNow(); // Completes despite the stall — no hang.
+  auto Elapsed = std::chrono::steady_clock::now() - Start;
+  chaos::disarmFail();
+  Stop.store(true, std::memory_order_relaxed);
+  Laggard.join();
+  setPanicHandler(nullptr);
+
+  EXPECT_GE(OM.safepoint().watchdogFirings(), 1u);
+  // The pause finished once the stall expired; the watchdog reported
+  // within its deadline rather than waiting out the full stall silently.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(Elapsed).count(),
+            10);
+  std::lock_guard<std::mutex> Guard(DumpMutex);
+  ASSERT_FALSE(Dumps.empty());
+  EXPECT_NE(Dumps.front().find("safepoint watchdog"), std::string::npos)
+      << Dumps.front();
+  EXPECT_NE(Dumps.front().find("laggard"), std::string::npos) << Dumps.front();
+  // The postmortem carries the registered sections: the heap summary and
+  // the safepoint mutator table with the laggard marked unsafe.
+  EXPECT_NE(Dumps.front().find("--- heap ---"), std::string::npos);
+  EXPECT_NE(Dumps.front().find("--- safepoint ---"), std::string::npos);
+  EXPECT_NE(Dumps.front().find("=== VM panic ==="), std::string::npos);
+  OM.unregisterMutator();
+}
+
+//===----------------------------------------------------------------------===//
+// The whole VM under an alloc.fail storm stays responsive
+//===----------------------------------------------------------------------===//
+
+TEST(MemoryChaosTest, VmSurvivesAllocFaultStorm) {
+  const int Evals = stressScale(30, 8);
+  for (uint64_t Seed : chaosSeeds()) {
+    SCOPED_TRACE(seedTag(Seed));
+    VmConfig Config = VmConfig::multiprocessor(1);
+    Config.Memory.EdenBytes = 1u << 20;
+    Config.Memory.SurvivorBytes = 256u * 1024;
+    TestVm T(Config);
+    {
+      ScopedChaos Chaos(Seed);
+      chaos::armFail("alloc.fail", 100, Seed);
+      for (int I = 0; I < Evals; ++I) {
+        // May error under injected pressure; the VM itself must survive.
+        T.vm().compileAndRun(
+            "| a | a := OrderedCollection new. "
+            "1 to: 200 do: [:i | a add: i * i]. ^a size");
+      }
+    }
+    // Faults disarmed: full service resumes and the heap verifies.
+    EXPECT_EQ(T.evalInt("^6 * 7"), 42);
+    std::string Err;
+    EXPECT_TRUE(T.vm().memory().verifyHeap(&Err)) << Err;
+  }
+}
+
+} // namespace

@@ -58,9 +58,18 @@ inline std::vector<uint64_t> chaosSeeds() {
 /// assertion cannot leak perturbation into the next test.
 class ScopedChaos {
 public:
-  explicit ScopedChaos(uint64_t Seed) { chaos::enableSeed(Seed); }
-  explicit ScopedChaos(const chaos::Config &C) { chaos::enable(C); }
-  ~ScopedChaos() { chaos::disable(); }
+  explicit ScopedChaos(uint64_t Seed) {
+    chaos::enableSeed(Seed);
+    chaos::armFailFromEnv(Seed); // MST_CHAOS_ALLOC_FAIL_PM et al.
+  }
+  explicit ScopedChaos(const chaos::Config &C) {
+    chaos::enable(C);
+    chaos::armFailFromEnv(C.Seed);
+  }
+  ~ScopedChaos() {
+    chaos::disable();
+    chaos::disarmFail();
+  }
 
   ScopedChaos(const ScopedChaos &) = delete;
   ScopedChaos &operator=(const ScopedChaos &) = delete;
