@@ -23,6 +23,7 @@
 
 #include "image/Bootstrap.h"
 #include "image/MacroBenchmarks.h"
+#include "image/Snapshot.h"
 #include "obs/Telemetry.h"
 #include "obs/TraceBuffer.h"
 #include "support/Format.h"
@@ -87,13 +88,44 @@ struct BenchFlags {
   bool TelemetryReport = false; ///< --telemetry: print counter summary
   std::string TraceOut;         ///< --trace-out=PATH: Chrome trace JSON
   std::string JsonOut;          ///< --json-out=PATH: machine-readable results
+  std::string ImagePath;        ///< --image=PATH: boot from a prewarmed image
 };
 
-/// Parses --telemetry / --trace-out= / --json-out= / --chaos-seed= and
-/// enables tracing when a trace path was given. Unknown arguments abort
-/// with a usage message. A --chaos-seed (or MST_CHAOS_SEED in the
-/// environment) turns on schedule chaos for the whole run — for measuring
-/// how robust the numbers are to hostile interleavings, not for Table 2.
+/// Shared prewarmed-image path (set by --image=PATH). When non-empty the
+/// bench VMs boot by loading this snapshot instead of re-running the
+/// bootstrap + macro-workload compilation for every system state.
+inline std::string &benchImagePath() {
+  static std::string Path;
+  return Path;
+}
+
+/// Boots \p VM for a macro suite: from the prewarmed snapshot when one
+/// was given (its load time lands in the `img.load.millis` histogram, so
+/// every BENCH_*.json telemetry block records it), otherwise from scratch
+/// via bootstrap + the macro-workload definitions. A snapshot that fails
+/// verification falls back to the scratch path rather than aborting the
+/// suite — the benches should still produce numbers off a stale image.
+inline void bootBenchImage(VirtualMachine &VM) {
+  const std::string &Img = benchImagePath();
+  if (!Img.empty()) {
+    std::string Error;
+    if (loadSnapshot(VM, Img, Error))
+      return;
+    std::fprintf(stderr,
+                 "cannot load prewarmed image %s: %sfalling back to "
+                 "bootstrap\n",
+                 Img.c_str(), Error.c_str());
+  }
+  bootstrapImage(VM);
+  setupMacroWorkload(VM);
+}
+
+/// Parses --telemetry / --trace-out= / --json-out= / --chaos-seed= /
+/// --image= and enables tracing when a trace path was given. Unknown
+/// arguments abort with a usage message. A --chaos-seed (or
+/// MST_CHAOS_SEED in the environment) turns on schedule chaos for the
+/// whole run — for measuring how robust the numbers are to hostile
+/// interleavings, not for Table 2.
 inline BenchFlags parseBenchFlags(int Argc, char **Argv) {
   BenchFlags F;
   for (int I = 1; I < Argc; ++I) {
@@ -104,12 +136,16 @@ inline BenchFlags parseBenchFlags(int Argc, char **Argv) {
       F.TraceOut = A + 12;
     } else if (std::strncmp(A, "--json-out=", 11) == 0) {
       F.JsonOut = A + 11;
+    } else if (std::strncmp(A, "--image=", 8) == 0) {
+      F.ImagePath = A + 8;
+      benchImagePath() = F.ImagePath;
     } else if (std::strncmp(A, "--chaos-seed=", 13) == 0) {
       chaos::enableSeed(std::strtoull(A + 13, nullptr, 0));
     } else {
       std::fprintf(stderr,
                    "unknown argument '%s'\nusage: %s [--telemetry] "
-                   "[--trace-out=PATH] [--json-out=PATH] [--chaos-seed=N]\n",
+                   "[--trace-out=PATH] [--json-out=PATH] [--image=PATH] "
+                   "[--chaos-seed=N]\n",
                    A, Argv[0]);
       std::exit(2);
     }
@@ -158,8 +194,7 @@ inline std::vector<TimedRun> runMacroSuite(
     SystemState S, double Scale, unsigned Repeats = 1,
     Telemetry::Snapshot *SnapOut = nullptr) {
   VirtualMachine VM(configFor(S));
-  bootstrapImage(VM);
-  setupMacroWorkload(VM);
+  bootBenchImage(VM);
   VM.startInterpreters();
 
   // Competition per the paper: MS always carries one idle Process (its

@@ -104,8 +104,7 @@ MacroRun measureMacro(bool FullGcOn, double Scale) {
   // collector repeatedly rather than never.
   C.Memory.FullGcThresholdBytes = 1u << 20;
   VirtualMachine VM(C);
-  bootstrapImage(VM);
-  setupMacroWorkload(VM);
+  bootBenchImage(VM);
   VM.startInterpreters();
 
   // The Table 2 workloads themselves tenure little; the pressure comes

@@ -103,8 +103,7 @@ int main(int argc, char **argv) {
   // One sample instrumentation report (paper SS6) from a fresh busy run.
   {
     VirtualMachine VM(configFor(SystemState::MsFourBusy));
-    bootstrapImage(VM);
-    setupMacroWorkload(VM);
+    bootBenchImage(VM);
     VM.startInterpreters();
     forkCompetitors(VM, 4, busyProcessSource(), "Competitors");
     runMacroBenchmark(VM, macroBenchmarks()[0], Scale / 4, 600.0);

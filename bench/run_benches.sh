@@ -18,15 +18,27 @@ STAMP="$(date +%Y%m%d-%H%M%S)"
 
 mkdir -p "$OUT_DIR"
 
-for NAME in table2 figure2 fullgc; do
+for NAME in prewarm table2 figure2 fullgc; do
   BIN="$BUILD_DIR/bench/bench_$NAME"
   if [ ! -x "$BIN" ]; then
     echo "missing $BIN — build first (cmake --build $BUILD_DIR -j)" >&2
     exit 1
   fi
+done
+
+# Bootstrap + macro-workload compilation once; every suite then boots each
+# system state from the prewarmed snapshot, and the per-state image load
+# time lands in the img.load.millis histogram of each BENCH_*.json
+# telemetry block.
+IMAGE="$OUT_DIR/prewarmed_${REV}.image"
+echo "=== bench_prewarm -> $IMAGE ==="
+"$BUILD_DIR/bench/bench_prewarm" "$IMAGE"
+
+for NAME in table2 figure2 fullgc; do
+  BIN="$BUILD_DIR/bench/bench_$NAME"
   OUT="$OUT_DIR/BENCH_${NAME}_${REV}_${STAMP}.json"
   echo "=== bench_$NAME -> $OUT ==="
-  "$BIN" --json-out="$OUT"
+  "$BIN" --json-out="$OUT" --image="$IMAGE"
 done
 
 echo "done. results in $OUT_DIR/"

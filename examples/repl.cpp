@@ -29,6 +29,8 @@
 #include <string>
 
 #include "image/Bootstrap.h"
+#include "image/Checkpoint.h"
+#include "image/Snapshot.h"
 #include "obs/TraceBuffer.h"
 #include "vkernel/Chaos.h"
 #include "vm/VirtualMachine.h"
@@ -38,6 +40,10 @@ using namespace mst;
 int main(int argc, char **argv) {
   bool TelemetryReport = false;
   std::string TraceOut;
+  std::string SnapshotPath; // --snapshot=: save on exit + checkpoint target
+  std::string LoadPath;     // --load=: boot from an image, skip bootstrap
+  uint64_t SnapshotEveryMs = 0;
+  unsigned SnapshotKeep = 0;
   VmConfig Config = VmConfig::multiprocessor(1);
   for (int I = 1; I < argc; ++I) {
     const char *A = argv[I];
@@ -62,14 +68,29 @@ int main(int argc, char **argv) {
       // Safepoint-rendezvous deadline; a stall past it produces a
       // postmortem dump naming the unresponsive thread.
       Config.Memory.WatchdogMillis = std::strtoull(A + 14, nullptr, 0);
+    } else if (std::strncmp(A, "--snapshot=", 11) == 0) {
+      SnapshotPath = A + 11;
+    } else if (std::strncmp(A, "--load=", 7) == 0) {
+      LoadPath = A + 7;
+    } else if (std::strncmp(A, "--snapshot-every=", 17) == 0) {
+      SnapshotEveryMs = std::strtoull(A + 17, nullptr, 0);
+    } else if (std::strncmp(A, "--snapshot-keep=", 16) == 0) {
+      SnapshotKeep =
+          static_cast<unsigned>(std::strtoul(A + 16, nullptr, 0));
     } else {
       std::fprintf(stderr,
                    "usage: %s [--telemetry] [--trace-out=PATH] "
                    "[--chaos-seed=N] [--fullgc-threshold=BYTES] "
-                   "[--fullgc-off] [--max-heap=BYTES] [--watchdog-ms=N]\n",
+                   "[--fullgc-off] [--max-heap=BYTES] [--watchdog-ms=N] "
+                   "[--snapshot=PATH] [--load=PATH] [--snapshot-every=MS] "
+                   "[--snapshot-keep=N]\n",
                    argv[0]);
       return 2;
     }
+  }
+  if (SnapshotEveryMs && SnapshotPath.empty()) {
+    std::fprintf(stderr, "--snapshot-every requires --snapshot=PATH\n");
+    return 2;
   }
   if (!chaos::enabled())
     chaos::enableFromEnv(); // MST_CHAOS_SEED et al.
@@ -90,15 +111,41 @@ int main(int argc, char **argv) {
   }
 
   VirtualMachine VM(Config);
-  bootstrapImage(VM);
+  if (!LoadPath.empty()) {
+    // Boot from an image: the recovery ladder falls back through rotated
+    // generations when the primary fails verification.
+    std::string Error;
+    if (!loadSnapshot(VM, LoadPath, Error)) {
+      std::fprintf(stderr, "cannot load image: %s\n", Error.c_str());
+      return 1;
+    }
+  } else {
+    bootstrapImage(VM);
+  }
+
+  Checkpointer::Options CkOpts;
+  CkOpts.Path = SnapshotPath;
+  CkOpts.EveryMs = SnapshotEveryMs;
+  CkOpts.KeepGenerations = SnapshotKeep;
+  Checkpointer Checkpoints(VM, CkOpts);
+
   std::printf("Multiprocessor Smalltalk listener — empty line or EOF "
               "quits.\n");
 
   std::string Line;
   size_t Shown = 0;
-  while (std::printf("> "), std::fflush(stdout),
-         std::getline(std::cin, Line)) {
-    if (Line.empty())
+  for (;;) {
+    std::printf("> ");
+    std::fflush(stdout);
+    bool GotLine;
+    {
+      // Waiting for input counts as safe: the auto-checkpointer (and any
+      // worker GC) can stop the world while the listener sits at the
+      // prompt.
+      BlockedRegion B(VM.memory().safepoint());
+      GotLine = static_cast<bool>(std::getline(std::cin, Line));
+    }
+    if (!GotLine || Line.empty())
       break;
     // Expressions without an explicit return answer their value.
     std::string Src = Line;
@@ -116,6 +163,13 @@ int main(int argc, char **argv) {
       std::printf("%s\n", ObjectModel::stringValue(R).c_str());
     else
       std::printf("%s\n", VM.model().describe(R).c_str());
+  }
+  if (!SnapshotPath.empty()) {
+    std::string Error;
+    if (!Checkpoints.checkpointNow(Error))
+      std::fprintf(stderr, "snapshot failed: %s\n", Error.c_str());
+    else
+      std::printf("image saved to %s\n", SnapshotPath.c_str());
   }
   if (TelemetryReport)
     std::printf("\n%s", VM.telemetryReport().c_str());

@@ -23,6 +23,13 @@
 #                eden-allocation faults (MST_CHAOS_ALLOC_FAIL_PM) pushed
 #                into every stress binary, so the pressure-recovery ladder
 #                and low-space paths run on every matrix build.
+#   snapfuzz     Address+UB sanitizers aimed at the snapshot subsystem:
+#                the corruption sweep (truncations + bit flips against
+#                saved images) plus the kill-during-save chaos storms with
+#                io.write.fail / io.fsync.fail / snapshot.truncate armed
+#                from the environment, proving torn and corrupt images are
+#                rejected with diagnostics — never a crash — and the
+#                atomic-rename protocol keeps the target loadable.
 #
 # The stress binaries print the failing chaos seed in the test output
 # (SCOPED_TRACE "chaos-seed=N"); reproduce with MST_CHAOS_SEED=N.
@@ -39,7 +46,10 @@ CHAOS_SEED=${MST_CHAOS_SEED:-}
 # TSan histories are finite; long-lived rings can age out of them. Keep
 # reports readable and make second_deadlock_stack available.
 export TSAN_OPTIONS=${TSAN_OPTIONS:-"halt_on_error=1 second_deadlock_stack=1"}
-export ASAN_OPTIONS=${ASAN_OPTIONS:-"detect_leaks=0"}
+# verify_asan_link_order inspects /proc/self/maps in *address* order, so
+# with ASLR it fails spuriously whenever another DSO lands below libasan
+# even though libasan is first in DT_NEEDED; disable the check.
+export ASAN_OPTIONS=${ASAN_OPTIONS:-"detect_leaks=0 verify_asan_link_order=0"}
 export UBSAN_OPTIONS=${UBSAN_OPTIONS:-"print_stacktrace=1 halt_on_error=1"}
 
 banner() { printf '\n=== %s ===\n' "$*"; }
@@ -106,9 +116,29 @@ do_smallheap() {
     run_suite smallheap stress chaos
 }
 
+do_snapfuzz() {
+  banner "snapfuzz: ASan+UBSan, snapshot corruption sweep + save chaos"
+  configure snapfuzz RelWithDebInfo address,undefined
+  cmake --build build-ci/snapfuzz -j "$JOBS"
+  # The corruption sweep: every truncation point and bit-flip position
+  # against a saved image must be rejected with a diagnostic, never a
+  # crash. ASan/UBSan turn any loader overread into a hard failure.
+  ctest --test-dir build-ci/snapfuzz -R 'SnapshotTest' \
+    --output-on-failure -j "$JOBS"
+  # Kill-during-save storms with the io fault points armed from the
+  # environment on top of the tests' own seeded chaos: partial-rate write
+  # and fsync failures plus seeded mid-save truncation of the temp file.
+  MST_CHAOS_IO_WRITE_FAIL_PM=${MST_CHAOS_IO_WRITE_FAIL_PM:-80} \
+  MST_CHAOS_IO_FSYNC_FAIL_PM=${MST_CHAOS_IO_FSYNC_FAIL_PM:-80} \
+  MST_CHAOS_SNAPSHOT_TRUNCATE_PM=${MST_CHAOS_SNAPSHOT_TRUNCATE_PM:-80} \
+  MST_CHAOS_SEED="${CHAOS_SEED:-1}" \
+    ctest --test-dir build-ci/snapfuzz -R 'SnapshotChaos' \
+    --output-on-failure -j "$JOBS"
+}
+
 CONFIGS=("$@")
 if [ ${#CONFIGS[@]} -eq 0 ]; then
-  CONFIGS=(release debug-chaos tsan asan smallheap)
+  CONFIGS=(release debug-chaos tsan asan smallheap snapfuzz)
 fi
 
 for C in "${CONFIGS[@]}"; do
@@ -118,9 +148,10 @@ for C in "${CONFIGS[@]}"; do
   tsan) do_tsan ;;
   asan) do_asan ;;
   smallheap) do_smallheap ;;
+  snapfuzz) do_snapfuzz ;;
   *)
     echo "unknown configuration: $C" \
-      "(known: release debug-chaos tsan asan smallheap)" >&2
+      "(known: release debug-chaos tsan asan smallheap snapfuzz)" >&2
     exit 2
     ;;
   esac

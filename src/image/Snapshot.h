@@ -1,4 +1,4 @@
-//===-- image/Snapshot.h - Virtual image save/load --------------*- C++ -*-===//
+//===-- image/Snapshot.h - Crash-consistent image save/load -----*- C++ -*-===//
 //
 // Part of the Multiprocessor Smalltalk reproduction. MIT license.
 //
@@ -11,6 +11,38 @@
 /// ProcessorScheduler's activeProcess slot at run time, "the only
 /// requirement is to fill in the activeProcess slot before taking a
 /// snapshot and to empty it afterwards" — which saveSnapshot does.
+///
+/// The snapshot is the VM's only durability mechanism, so this layer is
+/// built crash-consistent:
+///
+///  - **Format v2** ("MST2"): a fixed header, then length-prefixed
+///    sections (object graph, well-known root table, symbol table) each
+///    carrying its own CRC-32, then a trailer with the total file length
+///    and a whole-file CRC-32. Every corruption class — truncation, bit
+///    flips, a torn tail, an unrelated file — is detectable before any
+///    byte is decoded.
+///  - **Atomic durability**: the writer serializes to `<path>.tmp`,
+///    fsyncs the file and its directory, then renames over the target.
+///    The target path never holds a torn image; a crash at any point
+///    leaves either the old image or the new one. With
+///    SnapshotOptions::KeepGenerations = N, the previous images rotate to
+///    `<path>.1` … `<path>.N` before the rename.
+///  - **Hardened loader**: every read is bounds-checked against its
+///    section, every section CRC-verified before decoding, and the whole
+///    object graph is structurally validated (reference ranges, formats,
+///    live-slot counts) before the first shell is allocated — so a bad
+///    file fails with a diagnostic naming the section and byte offset,
+///    never a crash, and leaves the VM untouched.
+///  - **Recovery ladder**: when the primary image fails verification,
+///    loadSnapshot falls back through the rotated generations
+///    (`<path>.1`, `<path>.2`, …), counting each step in the
+///    `img.load.fallbacks` telemetry counter.
+///
+/// Chaos fail points `io.write.fail`, `io.fsync.fail`, and
+/// `snapshot.truncate` (armed via MST_CHAOS_IO_WRITE_FAIL_PM /
+/// MST_CHAOS_IO_FSYNC_FAIL_PM / MST_CHAOS_SNAPSHOT_TRUNCATE_PM) inject
+/// write errors and simulated mid-save crashes so the stress suite can
+/// prove the target path always loads.
 ///
 /// The writer serializes every object reachable from the well-known
 /// objects (classes, methods, globals, processes — the whole image) with
@@ -30,20 +62,43 @@
 
 namespace mst {
 
-/// Writes \p VM's image to \p Path. Must run on the driver thread with
-/// the world effectively idle (take it before startInterpreters, or after
-/// all Smalltalk Processes have settled): the writer stops the world for
-/// the duration. \returns false with \p Error set on failure.
+/// Durability policy for saveSnapshot.
+struct SnapshotOptions {
+  /// Number of rotated previous generations to keep: before the new image
+  /// is renamed into place, the current `<path>` moves to `<path>.1`,
+  /// `<path>.1` to `<path>.2`, and so on up to `<path>.N`. 0 keeps none
+  /// (the previous image is replaced atomically but not preserved).
+  unsigned KeepGenerations = 0;
+};
+
+/// Writes \p VM's image to \p Path using the atomic tmp+fsync+rename
+/// protocol. Must run on a thread registered as a mutator with \p VM's
+/// object memory (the driver thread, or a checkpointer thread that
+/// registered itself): the writer stops the world while it serializes,
+/// then performs the file I/O with the world running. \returns false with
+/// \p Error set (including errno text and the failing byte offset for I/O
+/// errors) on failure; the target path is never left torn.
 bool saveSnapshot(VirtualMachine &VM, const std::string &Path,
-                  std::string &Error);
+                  std::string &Error,
+                  const SnapshotOptions &Opts = SnapshotOptions());
 
 /// Loads the image at \p Path into \p VM, which must be freshly
 /// constructed (no bootstrapImage, no interpreters started). The core
 /// objects created by VM construction are abandoned in old space; every
 /// well-known binding and the symbol table are rebound to the loaded
-/// graph. \returns false with \p Error set on failure.
+/// graph. When \p Path fails verification, falls back through the rotated
+/// generations `<path>.1`, `<path>.2`, … (each fallback counted in
+/// `img.load.fallbacks`). A file that fails verification never mutates
+/// the VM, so a later generation loads into a clean slate. \returns false
+/// with \p Error set to the per-candidate diagnostics (section, offset,
+/// expected vs. actual) when no generation loads.
 bool loadSnapshot(VirtualMachine &VM, const std::string &Path,
                   std::string &Error);
+
+/// Loads exactly \p Path — no generation fallback. The primitive the
+/// ladder is built from; corruption tests call it directly.
+bool loadSnapshotExact(VirtualMachine &VM, const std::string &Path,
+                       std::string &Error);
 
 } // namespace mst
 

@@ -218,3 +218,8 @@ unsigned Safepoint::mutatorCount() {
   std::lock_guard<std::mutex> Guard(Mutex);
   return Mutators;
 }
+
+bool Safepoint::currentThreadRegistered() {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  return myStateLocked() != nullptr;
+}

@@ -87,6 +87,13 @@ public:
   /// \returns the number of registered mutators (diagnostic).
   unsigned mutatorCount();
 
+  /// \returns whether the calling thread is registered as a mutator with
+  /// this safepoint. The emergency-snapshot panic section uses this to
+  /// decide whether a stop-the-world request is even legal on the
+  /// panicking thread (an unregistered caller would corrupt the
+  /// rendezvous count).
+  bool currentThreadRegistered();
+
   /// \returns how many stop-the-world pauses have completed.
   uint64_t pauseCount() const {
     return Pauses.load(std::memory_order_relaxed);

@@ -252,7 +252,10 @@ bool chaos::armFailFromEnv(uint64_t Seed) {
     const char *Point;
   } Map[] = {{"MST_CHAOS_ALLOC_FAIL_PM", "alloc.fail"},
              {"MST_CHAOS_GROW_FAIL_PM", "oldspace.grow.fail"},
-             {"MST_CHAOS_STALL_PM", "watchdog.stall"}};
+             {"MST_CHAOS_STALL_PM", "watchdog.stall"},
+             {"MST_CHAOS_IO_WRITE_FAIL_PM", "io.write.fail"},
+             {"MST_CHAOS_IO_FSYNC_FAIL_PM", "io.fsync.fail"},
+             {"MST_CHAOS_SNAPSHOT_TRUNCATE_PM", "snapshot.truncate"}};
   bool Any = false;
   for (auto &M : Map) {
     const char *S = std::getenv(M.Env);

@@ -122,6 +122,15 @@ public:
   /// with no arguments. GC point.
   Oop buildBottomContext(Oop Method, Oop Receiver);
 
+  /// The Process to record in the ProcessorScheduler's activeProcess slot
+  /// while a snapshot is on disk (§3.3): the driver's current Process, or
+  /// nil when the driver is idle. Only meaningful with the world stopped
+  /// or quiescent — image/Snapshot is the intended caller.
+  Oop snapshotActiveProcess() {
+    Oop P = Driver->roots().ActiveProcess;
+    return P.isNull() ? Om->nil() : P;
+  }
+
   /// --- Low-space notification ---------------------------------------------
 
   /// Registers \p Sem (a Semaphore, or nil to clear) as the low-space

@@ -4,12 +4,24 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <thread>
+#include <vector>
+
+#include <sys/stat.h>
 
 #include "TestVm.h"
 
+#include "image/Checkpoint.h"
+#include "image/MacroBenchmarks.h"
 #include "image/Snapshot.h"
+#include "obs/Telemetry.h"
+#include "support/Crc32.h"
+#include "support/Panic.h"
+#include "vkernel/Chaos.h"
 
 using namespace mst;
 
@@ -17,6 +29,66 @@ namespace {
 
 std::string tempPath(const char *Name) {
   return std::string(::testing::TempDir()) + "/" + Name;
+}
+
+uint64_t counterValue(const char *Name) {
+  for (const auto &P : Telemetry::counterTotals())
+    if (P.first == Name)
+      return P.second;
+  return 0;
+}
+
+std::vector<uint8_t> readFile(const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  EXPECT_NE(F, nullptr) << Path;
+  std::vector<uint8_t> Bytes;
+  if (F) {
+    std::fseek(F, 0, SEEK_END);
+    Bytes.resize(static_cast<size_t>(std::ftell(F)));
+    std::fseek(F, 0, SEEK_SET);
+    EXPECT_EQ(std::fread(Bytes.data(), 1, Bytes.size(), F), Bytes.size());
+    std::fclose(F);
+  }
+  return Bytes;
+}
+
+void writeFile(const std::string &Path, const std::vector<uint8_t> &Bytes) {
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  ASSERT_NE(F, nullptr) << Path;
+  // Bytes.data() is null for the zero-byte truncation case.
+  if (!Bytes.empty()) {
+    ASSERT_EQ(std::fwrite(Bytes.data(), 1, Bytes.size(), F), Bytes.size());
+  }
+  std::fclose(F);
+}
+
+uint64_t readU64(const std::vector<uint8_t> &B, size_t Off) {
+  uint64_t V;
+  std::memcpy(&V, B.data() + Off, 8);
+  return V;
+}
+
+/// Recomputes the whole-file CRC in the trailer so hand-corrupted inner
+/// structure reaches the section-level verification.
+void fixFileCrc(std::vector<uint8_t> &B) {
+  uint32_t Crc = crc32(B.data(), B.size() - 16);
+  std::memcpy(B.data() + B.size() - 12, &Crc, 4);
+}
+
+bool fileExists(const std::string &Path) {
+  struct stat St {};
+  return ::stat(Path.c_str(), &St) == 0;
+}
+
+/// Saves a small image with a recognizable marker value.
+void saveMarkedImage(const std::string &Path, int Marker,
+                     unsigned Keep = 0) {
+  TestVm T;
+  T.eval("Smalltalk at: #Marker put: " + std::to_string(Marker) + ". ^1");
+  std::string Error;
+  SnapshotOptions Opts;
+  Opts.KeepGenerations = Keep;
+  ASSERT_TRUE(saveSnapshot(T.vm(), Path, Error, Opts)) << Error;
 }
 
 TEST(SnapshotTest, SaveAndReloadBasicImage) {
@@ -172,6 +244,385 @@ TEST(SnapshotTest, MissingFileFailsCleanly) {
     std::string Error;
     EXPECT_FALSE(loadSnapshot(VM, "/nonexistent/nowhere.image", Error));
     EXPECT_FALSE(Error.empty());
+  }).join();
+}
+
+// --- Corruption sweep -----------------------------------------------------
+
+TEST(SnapshotTest, TruncationAtEverySectionBoundaryFailsWithDiagnostics) {
+  std::string Path = tempPath("truncsweep.image");
+  std::thread([&] { saveMarkedImage(Path, 11); }).join();
+
+  std::thread([&] {
+    std::vector<uint8_t> Good = readFile(Path);
+    ASSERT_GT(Good.size(), 64u);
+
+    // Cut points derived from the file's own structure: inside the
+    // header, at every section-header and section-payload boundary,
+    // inside each payload, and through the trailer.
+    std::vector<size_t> Cuts = {0, 1, 13, 31, 32};
+    size_t Off = 32;
+    for (int S = 0; S < 3; ++S) {
+      size_t Payload = readU64(Good, Off + 8);
+      Cuts.push_back(Off + 1);
+      Cuts.push_back(Off + 15);
+      Cuts.push_back(Off + 16);
+      Cuts.push_back(Off + 16 + Payload / 2);
+      Cuts.push_back(Off + 16 + Payload);
+      Off += 16 + Payload;
+    }
+    Cuts.push_back(Good.size() - 16); // trailer gone entirely
+    Cuts.push_back(Good.size() - 8);  // trailer torn mid-way
+    Cuts.push_back(Good.size() - 1);  // one byte short
+
+    // One VM takes every failed load: a rejected candidate must leave it
+    // clean enough to load the pristine image afterwards.
+    VirtualMachine VM(VmConfig::multiprocessor(1));
+    std::string Trunc = tempPath("truncsweep.cut.image");
+    for (size_t Cut : Cuts) {
+      SCOPED_TRACE("truncated to " + std::to_string(Cut) + " of " +
+                   std::to_string(Good.size()) + " bytes");
+      ASSERT_LT(Cut, Good.size());
+      writeFile(Trunc,
+                std::vector<uint8_t>(Good.begin(), Good.begin() + Cut));
+      std::string Error;
+      EXPECT_FALSE(loadSnapshotExact(VM, Trunc, Error));
+      EXPECT_FALSE(Error.empty());
+    }
+    std::string Error;
+    ASSERT_TRUE(loadSnapshotExact(VM, Path, Error)) << Error;
+    Oop M = VM.compileAndRun("^Smalltalk at: #Marker");
+    ASSERT_TRUE(M.isSmallInt());
+    EXPECT_EQ(M.smallInt(), 11);
+  }).join();
+}
+
+TEST(SnapshotTest, BitFlipSweepIsAlwaysDetected) {
+  std::string Path = tempPath("bitflip.image");
+  std::thread([&] { saveMarkedImage(Path, 12); }).join();
+
+  std::thread([&] {
+    std::vector<uint8_t> Good = readFile(Path);
+    VirtualMachine VM(VmConfig::multiprocessor(1));
+    std::string Flipped = tempPath("bitflip.cut.image");
+    uint64_t CrcBefore = counterValue("img.crc.failures");
+    constexpr size_t Positions = 41;
+    for (size_t I = 0; I < Positions; ++I) {
+      size_t Pos = I * Good.size() / Positions;
+      SCOPED_TRACE("bit flip at byte " + std::to_string(Pos));
+      std::vector<uint8_t> Bad = Good;
+      Bad[Pos] ^= static_cast<uint8_t>(1u << (I % 8));
+      writeFile(Flipped, Bad);
+      std::string Error;
+      EXPECT_FALSE(loadSnapshotExact(VM, Flipped, Error));
+      EXPECT_FALSE(Error.empty());
+    }
+    // Most flips land in section payloads and die on a CRC check.
+    EXPECT_GT(counterValue("img.crc.failures"), CrcBefore);
+    std::string Error;
+    EXPECT_TRUE(loadSnapshotExact(VM, Path, Error)) << Error;
+  }).join();
+}
+
+TEST(SnapshotTest, DiagnosticsNameSectionAndOffset) {
+  std::string Path = tempPath("diag.image");
+  std::thread([&] { saveMarkedImage(Path, 13); }).join();
+
+  std::thread([&] {
+    std::vector<uint8_t> Good = readFile(Path);
+    VirtualMachine VM(VmConfig::multiprocessor(1));
+    std::string Bad = tempPath("diag.bad.image");
+
+    // A payload flip with the file CRC patched up reaches the per-section
+    // check, which must name the damaged section.
+    {
+      std::vector<uint8_t> B = Good;
+      size_t ObjsPayload = 32 + 16 + readU64(Good, 40) / 2;
+      B[ObjsPayload] ^= 0xff;
+      fixFileCrc(B);
+      writeFile(Bad, B);
+      std::string Error;
+      EXPECT_FALSE(loadSnapshotExact(VM, Bad, Error));
+      EXPECT_NE(Error.find("section 'objects' CRC mismatch"),
+                std::string::npos)
+          << Error;
+      EXPECT_NE(Error.find("expected 0x"), std::string::npos) << Error;
+    }
+
+    // A wrong section tag (second section starts after the objects
+    // payload) is reported as such, with its byte offset.
+    {
+      std::vector<uint8_t> B = Good;
+      size_t RootHdr = 32 + 16 + readU64(Good, 40);
+      B[RootHdr] ^= 0xff;
+      fixFileCrc(B);
+      writeFile(Bad, B);
+      std::string Error;
+      EXPECT_FALSE(loadSnapshotExact(VM, Bad, Error));
+      EXPECT_NE(Error.find("bad tag"), std::string::npos) << Error;
+      EXPECT_NE(Error.find("byte offset " + std::to_string(RootHdr)),
+                std::string::npos)
+          << Error;
+    }
+  }).join();
+}
+
+TEST(SnapshotTest, ErrorsCarryErrnoTextAndPath) {
+  std::thread([&] {
+    VirtualMachine VM(VmConfig::multiprocessor(1));
+    std::string Error;
+    EXPECT_FALSE(loadSnapshotExact(VM, "/nonexistent/nowhere.image",
+                                   Error));
+    EXPECT_NE(Error.find(std::strerror(ENOENT)), std::string::npos)
+        << Error;
+    EXPECT_NE(Error.find("/nonexistent/nowhere.image"), std::string::npos)
+        << Error;
+  }).join();
+
+  std::thread([&] {
+    TestVm T;
+    std::string Error;
+    EXPECT_FALSE(
+        saveSnapshot(T.vm(), "/nonexistent/dir/out.image", Error));
+    EXPECT_NE(Error.find(std::strerror(ENOENT)), std::string::npos)
+        << Error;
+    EXPECT_NE(Error.find("/nonexistent/dir/out.image.tmp"),
+              std::string::npos)
+        << Error;
+  }).join();
+}
+
+// --- Recovery ladder and rotation -----------------------------------------
+
+TEST(SnapshotTest, RecoveryLadderFallsBackThroughGenerations) {
+  std::string Path = tempPath("ladder.image");
+  std::thread([&] {
+    TestVm T;
+    std::string Error;
+    SnapshotOptions Opts;
+    Opts.KeepGenerations = 2;
+    T.eval("Smalltalk at: #Marker put: 1. ^1");
+    ASSERT_TRUE(saveSnapshot(T.vm(), Path, Error, Opts)) << Error;
+    T.eval("Smalltalk at: #Marker put: 2. ^1");
+    ASSERT_TRUE(saveSnapshot(T.vm(), Path, Error, Opts)) << Error;
+  }).join();
+  ASSERT_TRUE(fileExists(Path));
+  ASSERT_TRUE(fileExists(Path + ".1"));
+
+  // Damage the primary: the ladder must fall back to the previous
+  // generation (which holds the older marker) and count the fallback.
+  std::vector<uint8_t> Primary = readFile(Path);
+  Primary[Primary.size() / 2] ^= 0x01;
+  writeFile(Path, Primary);
+
+  std::thread([&] {
+    uint64_t Before = counterValue("img.load.fallbacks");
+    VirtualMachine VM(VmConfig::multiprocessor(1));
+    std::string Error;
+    ASSERT_TRUE(loadSnapshot(VM, Path, Error)) << Error;
+    Oop M = VM.compileAndRun("^Smalltalk at: #Marker");
+    ASSERT_TRUE(M.isSmallInt());
+    EXPECT_EQ(M.smallInt(), 1);
+    EXPECT_GE(counterValue("img.load.fallbacks"), Before + 1);
+  }).join();
+}
+
+TEST(SnapshotTest, LadderReportsEveryCandidateWhenExhausted) {
+  std::string Path = tempPath("exhausted.image");
+  std::thread([&] { saveMarkedImage(Path, 3, 1); }).join();
+  std::thread([&] { saveMarkedImage(Path, 4, 1); }).join();
+  for (const std::string &P : {Path, Path + ".1"}) {
+    std::vector<uint8_t> B = readFile(P);
+    B[B.size() / 3] ^= 0x10;
+    writeFile(P, B);
+  }
+  std::thread([&] {
+    VirtualMachine VM(VmConfig::multiprocessor(1));
+    std::string Error;
+    EXPECT_FALSE(loadSnapshot(VM, Path, Error));
+    EXPECT_NE(Error.find(Path + ":"), std::string::npos) << Error;
+    EXPECT_NE(Error.find(Path + ".1:"), std::string::npos) << Error;
+  }).join();
+}
+
+// --- Chaos-injected I/O faults --------------------------------------------
+
+TEST(SnapshotTest, WriteFailureChaosLeavesTargetIntact) {
+  std::string Path = tempPath("chaoswrite.image");
+  std::thread([&] {
+    TestVm T;
+    T.eval("Smalltalk at: #Marker put: 7. ^1");
+    std::string Error;
+    ASSERT_TRUE(saveSnapshot(T.vm(), Path, Error)) << Error;
+
+    // Arm a certain write failure: the re-save must fail with a located
+    // error and must not disturb the target or leave the temp file.
+    T.eval("Smalltalk at: #Marker put: 8. ^1");
+    chaos::enableSeed(99);
+    chaos::armFail("io.write.fail", 1000, 99);
+    EXPECT_FALSE(saveSnapshot(T.vm(), Path, Error));
+    chaos::disarmFail();
+    chaos::disable();
+    EXPECT_NE(Error.find("io.write.fail"), std::string::npos) << Error;
+    EXPECT_NE(Error.find("byte offset"), std::string::npos) << Error;
+    EXPECT_FALSE(fileExists(Path + ".tmp"));
+  }).join();
+
+  std::thread([&] {
+    VirtualMachine VM(VmConfig::multiprocessor(1));
+    std::string Error;
+    ASSERT_TRUE(loadSnapshot(VM, Path, Error)) << Error;
+    Oop M = VM.compileAndRun("^Smalltalk at: #Marker");
+    ASSERT_TRUE(M.isSmallInt());
+    EXPECT_EQ(M.smallInt(), 7);
+  }).join();
+}
+
+TEST(SnapshotTest, TruncateChaosNeverTearsTheTarget) {
+  std::string Path = tempPath("chaostrunc.image");
+  std::thread([&] {
+    TestVm T;
+    T.eval("Smalltalk at: #Marker put: 9. ^1");
+    std::string Error;
+    ASSERT_TRUE(saveSnapshot(T.vm(), Path, Error)) << Error;
+    // A simulated kill mid-save tears only the temp file.
+    chaos::enableSeed(5);
+    chaos::armFail("snapshot.truncate", 1000, 5);
+    EXPECT_FALSE(saveSnapshot(T.vm(), Path, Error));
+    chaos::disarmFail();
+    chaos::disable();
+    EXPECT_NE(Error.find("snapshot.truncate"), std::string::npos)
+        << Error;
+  }).join();
+  std::thread([&] {
+    VirtualMachine VM(VmConfig::multiprocessor(1));
+    std::string Error;
+    ASSERT_TRUE(loadSnapshot(VM, Path, Error)) << Error;
+    Oop M = VM.compileAndRun("^Smalltalk at: #Marker");
+    ASSERT_TRUE(M.isSmallInt());
+    EXPECT_EQ(M.smallInt(), 9);
+  }).join();
+}
+
+// --- Worker-count matrix under seeded chaos schedules ---------------------
+
+TEST(SnapshotTest, RoundTripsAcrossWorkerConfigsUnderChaos) {
+  for (unsigned SaveK : {1u, 4u}) {
+    for (uint64_t Seed : {1ull, 7ull}) {
+      SCOPED_TRACE("save-workers=" + std::to_string(SaveK) + " seed=" +
+                   std::to_string(Seed));
+      std::string Path = tempPath("matrix.image");
+      std::thread([&] {
+        chaos::enableSeed(Seed);
+        TestVm T{VmConfig::multiprocessor(SaveK)};
+        T.vm().startInterpreters();
+        unsigned Sig = T.vm().createHostSignal();
+        T.vm().forkDoIt("| s | s := 0. 1 to: 200 do: [:i | s := s + i]. "
+                        "Smalltalk at: #Sum put: s. nil hostSignal: " +
+                            std::to_string(Sig),
+                        5, "warm");
+        ASSERT_TRUE(T.vm().waitHostSignal(Sig, 1, 30.0));
+        std::string Error;
+        bool Saved = saveSnapshot(T.vm(), Path, Error);
+        chaos::disable();
+        ASSERT_TRUE(Saved) << Error;
+      }).join();
+
+      std::thread([&] {
+        // Load into the *other* worker count: the image is
+        // configuration-independent.
+        chaos::enableSeed(Seed);
+        VirtualMachine VM(VmConfig::multiprocessor(SaveK == 1 ? 4 : 1));
+        std::string Error;
+        bool LoadedOk = loadSnapshot(VM, Path, Error);
+        if (LoadedOk) {
+          VM.startInterpreters();
+          unsigned Sig = VM.createHostSignal();
+          VM.forkDoIt("(Smalltalk at: #Sum) = 20100 ifTrue: "
+                      "[nil hostSignal: " +
+                          std::to_string(Sig) + "]",
+                      5, "verify");
+          EXPECT_TRUE(VM.waitHostSignal(Sig, 1, 30.0));
+          VM.shutdown();
+        }
+        chaos::disable();
+        ASSERT_TRUE(LoadedOk) << Error;
+      }).join();
+    }
+  }
+}
+
+// --- Auto-checkpoint and the emergency panic snapshot ---------------------
+
+TEST(SnapshotTest, AutoCheckpointerWritesPeriodically) {
+  std::string Path = tempPath("autockpt.image");
+  std::thread([&] {
+    TestVm T;
+    T.eval("Smalltalk at: #Marker put: 21. ^1");
+    Checkpointer::Options Opts;
+    Opts.Path = Path;
+    Opts.EveryMs = 25;
+    Opts.KeepGenerations = 1;
+    Opts.EmergencyOnPanic = false;
+    Checkpointer Ck(T.vm(), Opts);
+    {
+      // The driver must count as safe while it sleeps, or the
+      // checkpointer's stop-the-world request can never complete.
+      BlockedRegion B(T.vm().memory().safepoint());
+      auto Deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(30);
+      while (Ck.checkpointsTaken() < 2 &&
+             std::chrono::steady_clock::now() < Deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_GE(Ck.checkpointsTaken(), 2u) << Ck.lastError();
+  }).join();
+  ASSERT_TRUE(fileExists(Path));
+  ASSERT_TRUE(fileExists(Path + ".1")); // rotation ran on the second save
+  std::thread([&] {
+    VirtualMachine VM(VmConfig::multiprocessor(1));
+    std::string Error;
+    ASSERT_TRUE(loadSnapshot(VM, Path, Error)) << Error;
+    Oop M = VM.compileAndRun("^Smalltalk at: #Marker");
+    ASSERT_TRUE(M.isSmallInt());
+    EXPECT_EQ(M.smallInt(), 21);
+  }).join();
+}
+
+TEST(SnapshotTest, EmergencyPanicSnapshotRunsTheMacroWorkload) {
+  std::string Path = tempPath("panic.image");
+  std::thread([&] {
+    TestVm T;
+    setupMacroWorkload(T.vm());
+    T.eval("Smalltalk at: #Marker put: 23. ^1");
+    Checkpointer::Options Opts;
+    Opts.Path = Path;
+    Checkpointer Ck(T.vm(), Opts);
+
+    std::string Dump;
+    setPanicHandler([&Dump](const std::string &D) { Dump = D; });
+    EXPECT_TRUE(panicReport("forced panic (snapshot test)"));
+    setPanicHandler(nullptr);
+    EXPECT_NE(Dump.find("emergency snapshot"), std::string::npos);
+    EXPECT_NE(Dump.find("written to " + Path + ".panic"),
+              std::string::npos)
+        << Dump;
+  }).join();
+  ASSERT_TRUE(fileExists(Path + ".panic"));
+
+  // The acceptance bar: a fresh VM boots the emergency image and runs a
+  // macro benchmark on it.
+  std::thread([&] {
+    VirtualMachine VM(VmConfig::multiprocessor(2));
+    std::string Error;
+    ASSERT_TRUE(loadSnapshotExact(VM, Path + ".panic", Error)) << Error;
+    Oop M = VM.compileAndRun("^Smalltalk at: #Marker");
+    ASSERT_TRUE(M.isSmallInt());
+    EXPECT_EQ(M.smallInt(), 23);
+    VM.startInterpreters();
+    TimedRun R = runMacroBenchmark(VM, macroBenchmarks()[6], 0.01);
+    EXPECT_TRUE(R.Ok);
+    VM.shutdown();
   }).join();
 }
 
