@@ -18,21 +18,30 @@
 ///                      trailer), total file length (trailer included)
 ///
 /// The writer serializes with the world stopped, then assembles and
-/// writes the file with the world running: serialize → `<path>.tmp` →
-/// fsync(file) → rotate generations → rename over `<path>` →
-/// fsync(directory). The loader verifies trailer, header, and every
-/// section CRC, then structurally validates the whole graph against the
-/// section bounds *before* allocating the first object — a corrupt file
-/// reports a diagnostic (section, offset, expected vs. actual) and leaves
-/// the VM untouched.
+/// writes the file with the world running: serialize → a per-save unique
+/// temp file (`<path>.tmp.<pid>.<seq>`) → fsync(file) → rotate
+/// generations → rename over `<path>` → fsync(directory). Saves to the
+/// same target path are serialized by a per-path mutex so rotation and
+/// rename never interleave, and the whole file phase runs inside a
+/// safepoint blocked region (it touches only host memory), so a slow disk
+/// or a saver waiting on the lock never stalls another thread's pause.
+/// The loader verifies trailer, header, and every section CRC, then
+/// structurally validates the whole graph against the section bounds
+/// *before* allocating the first object — a corrupt file reports a
+/// diagnostic (section, offset, expected vs. actual) and leaves the VM
+/// untouched.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "image/Snapshot.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
+#include <map>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -40,6 +49,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include "objmem/Safepoint.h"
 #include "obs/Histogram.h"
 #include "obs/Telemetry.h"
 #include "support/Assert.h"
@@ -127,6 +137,10 @@ Histogram &savePauseHist() {
 Histogram &loadMillisHist() {
   static Histogram H{"img.load.millis"}; // whole-load wall milliseconds
   return H;
+}
+Counter &dirFsyncWarnCtr() {
+  static Counter C{"img.save.dirfsync.warnings"};
+  return C;
 }
 
 std::string errnoText() { return std::strerror(errno); }
@@ -272,9 +286,36 @@ private:
 
 /// --- Atomic durability protocol -----------------------------------------
 
+/// One mutex per target path string, never reclaimed (the set of snapshot
+/// paths a process writes is tiny and fixed). Held across the temp-file
+/// write, rotation, and rename, it serializes concurrent saves to the
+/// same path — the periodic checkpointer racing an exit-time
+/// checkpointNow must not interleave two rotations or publish over each
+/// other mid-protocol.
+std::mutex &savePathLock(const std::string &Path) {
+  static std::mutex RegistryMu;
+  static auto &Locks = *new std::map<std::string, std::mutex>();
+  std::lock_guard<std::mutex> G(RegistryMu);
+  return Locks[Path];
+}
+
+/// A temp name no other save (thread or process) is writing: two savers
+/// sharing one `<path>.tmp` would interleave writes into a torn file that
+/// one of them then renames over the target.
+std::string uniqueTmpName(const std::string &Path) {
+  static std::atomic<uint64_t> Seq{0};
+  return Path + ".tmp." + std::to_string(::getpid()) + "." +
+         std::to_string(Seq.fetch_add(1, std::memory_order_relaxed) + 1);
+}
+
 /// fsyncs the directory containing \p Path so the rename itself is
 /// durable. \returns false with \p Error set on failure.
 bool fsyncDirectoryOf(const std::string &Path, std::string &Error) {
+  if (chaos::failPoint("io.dirfsync.fail")) {
+    Error = "fsync failed for directory of " + Path +
+            " (chaos io.dirfsync.fail)";
+    return false;
+  }
   size_t Slash = Path.rfind('/');
   std::string Dir = Slash == std::string::npos ? "." : Path.substr(0, Slash);
   if (Dir.empty())
@@ -305,14 +346,14 @@ void rotateGenerations(const std::string &Path, unsigned Keep) {
   (void)::rename(Path.c_str(), (Path + ".1").c_str());
 }
 
-/// Writes \p Image to \p Path via `<path>.tmp` + fsync + rename. The
-/// target is replaced atomically or not at all; a failure (real or
-/// chaos-injected) leaves at worst a torn `.tmp` file that no loader ever
-/// reads.
+/// Writes \p Image to \p Path via a unique temp file + fsync + rename;
+/// the caller holds the per-path save lock. The target is replaced
+/// atomically or not at all; a failure (real or chaos-injected) leaves at
+/// worst a torn `.tmp.*` file that no loader ever reads.
 bool writeAtomically(const std::string &Path,
                      const std::vector<uint8_t> &Image,
                      const SnapshotOptions &Opts, std::string &Error) {
-  std::string Tmp = Path + ".tmp";
+  std::string Tmp = uniqueTmpName(Path);
   int Fd = ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
                   0644);
   if (Fd < 0) {
@@ -371,10 +412,21 @@ bool writeAtomically(const std::string &Path,
     (void)::unlink(Tmp.c_str());
     return false;
   }
-  if (!fsyncDirectoryOf(Path, Error))
-    return false; // image is in place but the rename may not be durable
+  // The rename has landed: the target now holds the complete new image
+  // and loads. A directory-fsync failure past this point only weakens
+  // durability of the rename itself across power loss — count the save,
+  // warn, and report success rather than telling callers a committed
+  // checkpoint failed.
   saveBytesCtr().add(Image.size());
   savesCtr().add();
+  std::string DirError;
+  if (!fsyncDirectoryOf(Path, DirError)) {
+    dirFsyncWarnCtr().add();
+    std::fprintf(stderr,
+                 "mst: warning: snapshot %s is committed but %s; the "
+                 "rename may not survive a power loss\n",
+                 Path.c_str(), DirError.c_str());
+  }
   return true;
 }
 
@@ -646,6 +698,24 @@ bool Loader::verifyEnvelope(std::string &Error) {
             " unaccounted bytes after the last section";
     return false;
   }
+  // Counts claimed by the (CRC-valid) header must be achievable within
+  // the sections that carry them, or a crafted count like 2^60 would
+  // drive the parsers' reserve()/resize() into std::length_error before
+  // any per-record bounds check runs.
+  if (Header.ObjectCount > Sections[0].Len / sizeof(RecordHeader)) {
+    Error = "header corrupt: object count " +
+            std::to_string(Header.ObjectCount) + " impossible for a " +
+            std::to_string(Sections[0].Len) +
+            "-byte objects section (each record needs at least " +
+            std::to_string(sizeof(RecordHeader)) + " bytes)";
+    return false;
+  }
+  if (Header.RootCount > Sections[1].Len / 8) {
+    Error = "header corrupt: root count " +
+            std::to_string(Header.RootCount) + " impossible for a " +
+            std::to_string(Sections[1].Len) + "-byte roots section";
+    return false;
+  }
   return true;
 }
 
@@ -779,6 +849,16 @@ bool Loader::materialize(std::string &Error) {
   for (size_t I = 0; I < Records.size(); ++I) {
     const Rec &Rc = Records[I];
     MaxHash = std::max(MaxHash, Rc.H.Hash);
+    if (chaos::failPoint("snapshot.materialize.fail")) {
+      // Deterministic stand-in for allocation failure mid-materialize
+      // (allocateOld overshoots the heap ceiling, so real OOM here needs
+      // the OS to refuse memory): proves the ladder stops once the VM is
+      // no longer fresh.
+      Error = "out of memory materializing snapshot object " +
+              std::to_string(I) + " of " + std::to_string(Records.size()) +
+              " (chaos snapshot.materialize.fail)";
+      return false;
+    }
     Oop Shell;
     switch (static_cast<ObjectFormat>(Rc.H.Format)) {
     case ObjectFormat::Bytes:
@@ -883,6 +963,12 @@ bool mst::saveSnapshot(VirtualMachine &VM, const std::string &Path,
   VM.memory().safepoint().resume();
   VM.scheduler().emptyActiveProcessSlot();
 
+  // Everything below touches only host memory and the filesystem, so the
+  // world may treat this thread as parked: a slow disk — or waiting on
+  // the per-path save lock while another saver writes — must never stall
+  // someone else's stop-the-world pause.
+  BlockedRegion Parked(VM.memory().safepoint());
+
   // Assemble the checksummed file image.
   FileHeader Header{};
   Header.Magic = SnapshotMagic;
@@ -914,20 +1000,29 @@ bool mst::saveSnapshot(VirtualMachine &VM, const std::string &Path,
   Trailer.TotalBytes = Image.V.size() + sizeof(Trailer);
   Image.put(&Trailer, sizeof(Trailer));
 
+  std::lock_guard<std::mutex> SaveLock(savePathLock(Path));
   return writeAtomically(Path, Image.V, Opts, Error);
 }
 
 bool mst::loadSnapshotExact(VirtualMachine &VM, const std::string &Path,
-                            std::string &Error) {
+                            std::string &Error,
+                            SnapshotLoadFailure *Failure) {
+  auto FailedAs = [&](SnapshotLoadFailure F) {
+    if (Failure)
+      *Failure = F;
+    return false;
+  };
+  if (Failure)
+    *Failure = SnapshotLoadFailure::None;
   uint64_t Start = Telemetry::nowNs();
   std::vector<uint8_t> File;
   if (!readWholeFile(Path, File, Error))
-    return false;
+    return FailedAs(SnapshotLoadFailure::CleanVm);
   Loader L(VM, File);
   if (!L.verifyAndParse(Error))
-    return false; // the VM has not been touched
+    return FailedAs(SnapshotLoadFailure::CleanVm); // VM not touched
   if (!L.materialize(Error))
-    return false;
+    return FailedAs(SnapshotLoadFailure::VmMutated);
   // Loaded code may differ from whatever warmed the caches.
   VM.cache().flushAll();
   VM.contextPool().flushAll();
@@ -941,7 +1036,9 @@ bool mst::loadSnapshot(VirtualMachine &VM, const std::string &Path,
                        std::string &Error) {
   // The recovery ladder: the primary image, then each rotated generation
   // in order. A candidate that fails verification never mutates the VM,
-  // so the next rung starts from a clean slate.
+  // so the next rung starts from a clean slate; a candidate that fails
+  // *materializing* has already allocated into the VM, so the ladder
+  // stops there — retrying the rest needs a freshly constructed VM.
   constexpr unsigned MaxGenerations = 16;
   std::string Diagnostics;
   for (unsigned G = 0; G <= MaxGenerations; ++G) {
@@ -954,9 +1051,18 @@ bool mst::loadSnapshot(VirtualMachine &VM, const std::string &Path,
       loadFallbacks().add();
     }
     std::string E;
-    if (loadSnapshotExact(VM, Candidate, E))
+    SnapshotLoadFailure F = SnapshotLoadFailure::None;
+    if (loadSnapshotExact(VM, Candidate, E, &F))
       return true;
     Diagnostics += "  " + Candidate + ": " + E + "\n";
+    if (F == SnapshotLoadFailure::VmMutated) {
+      Error = "snapshot load aborted: materializing " + Candidate +
+              " failed after mutating the VM; remaining generations need "
+              "a freshly constructed VM:\n" + Diagnostics;
+      if (Error.back() == '\n')
+        Error.pop_back();
+      return false;
+    }
   }
   Error = "no loadable snapshot generation for " + Path + ":\n" +
           Diagnostics;

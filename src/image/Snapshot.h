@@ -21,10 +21,12 @@
 ///    and a whole-file CRC-32. Every corruption class — truncation, bit
 ///    flips, a torn tail, an unrelated file — is detectable before any
 ///    byte is decoded.
-///  - **Atomic durability**: the writer serializes to `<path>.tmp`,
-///    fsyncs the file and its directory, then renames over the target.
-///    The target path never holds a torn image; a crash at any point
-///    leaves either the old image or the new one. With
+///  - **Atomic durability**: the writer serializes to a per-save unique
+///    temp file (`<path>.tmp.<pid>.<seq>`), fsyncs it, then renames over
+///    the target and fsyncs the directory. The target path never holds a
+///    torn image; a crash at any point leaves either the old image or the
+///    new one, and concurrent saves to the same path are serialized so
+///    rotation and rename never interleave. With
 ///    SnapshotOptions::KeepGenerations = N, the previous images rotate to
 ///    `<path>.1` … `<path>.N` before the rename.
 ///  - **Hardened loader**: every read is bounds-checked against its
@@ -75,12 +77,29 @@ struct SnapshotOptions {
 /// protocol. Must run on a thread registered as a mutator with \p VM's
 /// object memory (the driver thread, or a checkpointer thread that
 /// registered itself): the writer stops the world while it serializes,
-/// then performs the file I/O with the world running. \returns false with
-/// \p Error set (including errno text and the failing byte offset for I/O
-/// errors) on failure; the target path is never left torn.
+/// then performs the file I/O with the world running. Concurrent saves to
+/// the same \p Path string (the periodic checkpointer racing an exit-time
+/// checkpoint) are serialized internally, and every save writes through
+/// its own unique temp file, so each rename publishes a complete image.
+/// \returns false with \p Error set (including errno text and the failing
+/// byte offset for I/O errors) on failure; the target path is never left
+/// torn. Once the rename has landed the save reports success even if the
+/// trailing directory fsync fails (the image is in place and loadable; a
+/// warning notes the rename may not survive power loss).
 bool saveSnapshot(VirtualMachine &VM, const std::string &Path,
                   std::string &Error,
                   const SnapshotOptions &Opts = SnapshotOptions());
+
+/// How a failed load left the VM. Verification runs entirely against the
+/// file buffer, so everything up to and including it fails with the VM
+/// untouched; materialization allocates into the heap from its first
+/// step, so a failure there leaves the VM mutated (shells allocated, hash
+/// counter raised) and no longer "freshly constructed".
+enum class SnapshotLoadFailure {
+  None,      ///< the load succeeded
+  CleanVm,   ///< failed before touching the VM (I/O, verification)
+  VmMutated, ///< failed during materialization; the VM is not fresh
+};
 
 /// Loads the image at \p Path into \p VM, which must be freshly
 /// constructed (no bootstrapImage, no interpreters started). The core
@@ -89,16 +108,22 @@ bool saveSnapshot(VirtualMachine &VM, const std::string &Path,
 /// graph. When \p Path fails verification, falls back through the rotated
 /// generations `<path>.1`, `<path>.2`, … (each fallback counted in
 /// `img.load.fallbacks`). A file that fails verification never mutates
-/// the VM, so a later generation loads into a clean slate. \returns false
-/// with \p Error set to the per-candidate diagnostics (section, offset,
-/// expected vs. actual) when no generation loads.
+/// the VM, so a later generation loads into a clean slate — but a
+/// candidate that fails while *materializing* has already mutated the VM,
+/// so the ladder stops there: retrying the remaining generations needs a
+/// freshly constructed VM. \returns false with \p Error set to the
+/// per-candidate diagnostics (section, offset, expected vs. actual) when
+/// no generation loads.
 bool loadSnapshot(VirtualMachine &VM, const std::string &Path,
                   std::string &Error);
 
 /// Loads exactly \p Path — no generation fallback. The primitive the
-/// ladder is built from; corruption tests call it directly.
+/// ladder is built from; corruption tests call it directly. \p Failure,
+/// when non-null, reports whether a failed load left the VM untouched
+/// (safe to try another candidate) or already mutated.
 bool loadSnapshotExact(VirtualMachine &VM, const std::string &Path,
-                       std::string &Error);
+                       std::string &Error,
+                       SnapshotLoadFailure *Failure = nullptr);
 
 } // namespace mst
 

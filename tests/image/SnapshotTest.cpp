@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include <dirent.h>
 #include <sys/stat.h>
 
 #include "TestVm.h"
@@ -73,6 +74,29 @@ uint64_t readU64(const std::vector<uint8_t> &B, size_t Off) {
 void fixFileCrc(std::vector<uint8_t> &B) {
   uint32_t Crc = crc32(B.data(), B.size() - 16);
   std::memcpy(B.data() + B.size() - 12, &Crc, 4);
+}
+
+/// Recomputes the header CRC (over the 28 bytes before it) so a
+/// hand-corrupted count reaches the header plausibility checks.
+void fixHeaderCrc(std::vector<uint8_t> &B) {
+  uint32_t Crc = crc32(B.data(), 28);
+  std::memcpy(B.data() + 28, &Crc, 4);
+}
+
+/// Counts per-save temp files (`<name>.tmp*`) next to \p Path. Saves use
+/// unique temp names, so residue is measured by prefix, not one name.
+int tempFileCount(const std::string &Path) {
+  size_t Slash = Path.rfind('/');
+  std::string Dir = Slash == std::string::npos ? "." : Path.substr(0, Slash);
+  std::string Prefix = Path.substr(Slash + 1) + ".tmp";
+  int N = 0;
+  if (DIR *D = ::opendir(Dir.c_str())) {
+    while (struct dirent *E = ::readdir(D))
+      if (std::strncmp(E->d_name, Prefix.c_str(), Prefix.size()) == 0)
+        ++N;
+    ::closedir(D);
+  }
+  return N;
 }
 
 bool fileExists(const std::string &Path) {
@@ -367,6 +391,46 @@ TEST(SnapshotTest, DiagnosticsNameSectionAndOffset) {
   }).join();
 }
 
+TEST(SnapshotTest, ImplausibleHeaderCountsAreRejectedBeforeAllocation) {
+  std::string Path = tempPath("hugecount.image");
+  std::thread([&] { saveMarkedImage(Path, 14); }).join();
+
+  std::thread([&] {
+    std::vector<uint8_t> Good = readFile(Path);
+    VirtualMachine VM(VmConfig::multiprocessor(1));
+    std::string Bad = tempPath("hugecount.bad.image");
+    constexpr uint64_t Huge = 1ull << 60;
+
+    // ObjectCount = 2^60 with every CRC patched valid must die on the
+    // count-vs-section plausibility check, not inside a 2^60-record
+    // reserve() (std::length_error would terminate the process).
+    {
+      std::vector<uint8_t> B = Good;
+      std::memcpy(B.data() + 8, &Huge, 8);
+      fixHeaderCrc(B);
+      fixFileCrc(B);
+      writeFile(Bad, B);
+      std::string Error;
+      EXPECT_FALSE(loadSnapshotExact(VM, Bad, Error));
+      EXPECT_NE(Error.find("object count"), std::string::npos) << Error;
+      EXPECT_NE(Error.find("impossible"), std::string::npos) << Error;
+    }
+    // Same for RootCount against the roots section.
+    {
+      std::vector<uint8_t> B = Good;
+      std::memcpy(B.data() + 16, &Huge, 8);
+      fixHeaderCrc(B);
+      fixFileCrc(B);
+      writeFile(Bad, B);
+      std::string Error;
+      EXPECT_FALSE(loadSnapshotExact(VM, Bad, Error));
+      EXPECT_NE(Error.find("root count"), std::string::npos) << Error;
+    }
+    std::string Error;
+    EXPECT_TRUE(loadSnapshotExact(VM, Path, Error)) << Error;
+  }).join();
+}
+
 TEST(SnapshotTest, ErrorsCarryErrnoTextAndPath) {
   std::thread([&] {
     VirtualMachine VM(VmConfig::multiprocessor(1));
@@ -445,6 +509,38 @@ TEST(SnapshotTest, LadderReportsEveryCandidateWhenExhausted) {
   }).join();
 }
 
+TEST(SnapshotTest, MaterializeFailureStopsTheLadder) {
+  std::string Path = tempPath("matfail.image");
+  std::thread([&] { saveMarkedImage(Path, 15, 1); }).join();
+  std::thread([&] { saveMarkedImage(Path, 16, 1); }).join();
+  ASSERT_TRUE(fileExists(Path + ".1"));
+
+  std::thread([&] {
+    uint64_t Before = counterValue("img.load.fallbacks");
+    VirtualMachine VM(VmConfig::multiprocessor(1));
+    chaos::armFail("snapshot.materialize.fail", 1000, 3);
+    std::string Error;
+    EXPECT_FALSE(loadSnapshot(VM, Path, Error));
+    chaos::disarmFail();
+    // The primary failed mid-materialize, so the VM is no longer freshly
+    // constructed: the (perfectly valid) .1 generation must not have been
+    // attempted, and the error must say why the ladder stopped.
+    EXPECT_NE(Error.find("freshly constructed VM"), std::string::npos)
+        << Error;
+    EXPECT_EQ(counterValue("img.load.fallbacks"), Before);
+  }).join();
+
+  // The same ladder in a fresh VM without the fault loads the primary.
+  std::thread([&] {
+    VirtualMachine VM(VmConfig::multiprocessor(1));
+    std::string Error;
+    ASSERT_TRUE(loadSnapshot(VM, Path, Error)) << Error;
+    Oop M = VM.compileAndRun("^Smalltalk at: #Marker");
+    ASSERT_TRUE(M.isSmallInt());
+    EXPECT_EQ(M.smallInt(), 16);
+  }).join();
+}
+
 // --- Chaos-injected I/O faults --------------------------------------------
 
 TEST(SnapshotTest, WriteFailureChaosLeavesTargetIntact) {
@@ -456,8 +552,9 @@ TEST(SnapshotTest, WriteFailureChaosLeavesTargetIntact) {
     ASSERT_TRUE(saveSnapshot(T.vm(), Path, Error)) << Error;
 
     // Arm a certain write failure: the re-save must fail with a located
-    // error and must not disturb the target or leave the temp file.
+    // error and must not disturb the target or leave its temp file.
     T.eval("Smalltalk at: #Marker put: 8. ^1");
+    int TempsBefore = tempFileCount(Path);
     chaos::enableSeed(99);
     chaos::armFail("io.write.fail", 1000, 99);
     EXPECT_FALSE(saveSnapshot(T.vm(), Path, Error));
@@ -465,7 +562,7 @@ TEST(SnapshotTest, WriteFailureChaosLeavesTargetIntact) {
     chaos::disable();
     EXPECT_NE(Error.find("io.write.fail"), std::string::npos) << Error;
     EXPECT_NE(Error.find("byte offset"), std::string::npos) << Error;
-    EXPECT_FALSE(fileExists(Path + ".tmp"));
+    EXPECT_EQ(tempFileCount(Path), TempsBefore);
   }).join();
 
   std::thread([&] {
@@ -501,6 +598,33 @@ TEST(SnapshotTest, TruncateChaosNeverTearsTheTarget) {
     Oop M = VM.compileAndRun("^Smalltalk at: #Marker");
     ASSERT_TRUE(M.isSmallInt());
     EXPECT_EQ(M.smallInt(), 9);
+  }).join();
+}
+
+TEST(SnapshotTest, DirFsyncFailureAfterRenameStillCommits) {
+  std::string Path = tempPath("dirfsync.image");
+  std::thread([&] {
+    TestVm T;
+    T.eval("Smalltalk at: #Marker put: 17. ^1");
+    uint64_t SavesBefore = counterValue("img.save.snapshots");
+    // The rename lands before the directory fsync runs: the image is in
+    // place and loadable, so the save must report success (with a
+    // warning), count the snapshot, and let the checkpointer count it.
+    chaos::armFail("io.dirfsync.fail", 1000, 7);
+    std::string Error;
+    EXPECT_TRUE(saveSnapshot(T.vm(), Path, Error)) << Error;
+    chaos::disarmFail();
+    EXPECT_EQ(counterValue("img.save.snapshots"), SavesBefore + 1);
+    EXPECT_GE(counterValue("img.save.dirfsync.warnings"), 1u);
+  }).join();
+
+  std::thread([&] {
+    VirtualMachine VM(VmConfig::multiprocessor(1));
+    std::string Error;
+    ASSERT_TRUE(loadSnapshotExact(VM, Path, Error)) << Error;
+    Oop M = VM.compileAndRun("^Smalltalk at: #Marker");
+    ASSERT_TRUE(M.isSmallInt());
+    EXPECT_EQ(M.smallInt(), 17);
   }).join();
 }
 
@@ -586,6 +710,34 @@ TEST(SnapshotTest, AutoCheckpointerWritesPeriodically) {
     Oop M = VM.compileAndRun("^Smalltalk at: #Marker");
     ASSERT_TRUE(M.isSmallInt());
     EXPECT_EQ(M.smallInt(), 21);
+  }).join();
+}
+
+TEST(SnapshotTest, ConcurrentCheckpointsNeverTearTheTarget) {
+  std::string Path = tempPath("concurrent.image");
+  std::thread([&] {
+    TestVm T;
+    T.eval("Smalltalk at: #Marker put: 77. ^1");
+    Checkpointer::Options Opts;
+    Opts.Path = Path;
+    Opts.EveryMs = 1; // the periodic saver hammers the same path...
+    Opts.KeepGenerations = 0; // ...with no ladder to hide a torn target
+    Opts.EmergencyOnPanic = false;
+    Checkpointer Ck(T.vm(), Opts);
+    // ...while the driver races it with explicit checkpoints, the repl's
+    // exit-time pattern. Every save must publish a complete image.
+    std::string Error;
+    for (int I = 0; I < 25; ++I)
+      EXPECT_TRUE(Ck.checkpointNow(Error)) << Error;
+  }).join();
+
+  std::thread([&] {
+    VirtualMachine VM(VmConfig::multiprocessor(1));
+    std::string Error;
+    ASSERT_TRUE(loadSnapshotExact(VM, Path, Error)) << Error;
+    Oop M = VM.compileAndRun("^Smalltalk at: #Marker");
+    ASSERT_TRUE(M.isSmallInt());
+    EXPECT_EQ(M.smallInt(), 77);
   }).join();
 }
 

@@ -16,10 +16,12 @@
 //===----------------------------------------------------------------------===//
 
 #include <chrono>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include <dirent.h>
 #include <unistd.h>
 
 #include <gtest/gtest.h>
@@ -39,10 +41,20 @@ std::string tempPath(const char *Name) {
 
 void removeGenerations(const std::string &Path, unsigned Keep) {
   ::unlink(Path.c_str());
-  ::unlink((Path + ".tmp").c_str());
   ::unlink((Path + ".panic").c_str());
   for (unsigned G = 1; G <= Keep; ++G)
     ::unlink((Path + "." + std::to_string(G)).c_str());
+  // Torn per-save temp files (unique `<name>.tmp.<pid>.<seq>` names) left
+  // behind by truncate chaos in earlier rounds.
+  size_t Slash = Path.rfind('/');
+  std::string Dir = Slash == std::string::npos ? "." : Path.substr(0, Slash);
+  std::string Prefix = Path.substr(Slash + 1) + ".tmp";
+  if (DIR *D = ::opendir(Dir.c_str())) {
+    while (struct dirent *E = ::readdir(D))
+      if (std::strncmp(E->d_name, Prefix.c_str(), Prefix.size()) == 0)
+        ::unlink((Dir + "/" + E->d_name).c_str());
+    ::closedir(D);
+  }
 }
 
 /// Loads \p Path (ladder allowed) in a fresh VM on its own thread and
