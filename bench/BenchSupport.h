@@ -89,7 +89,30 @@ struct BenchFlags {
   std::string TraceOut;         ///< --trace-out=PATH: Chrome trace JSON
   std::string JsonOut;          ///< --json-out=PATH: machine-readable results
   std::string ImagePath;        ///< --image=PATH: boot from a prewarmed image
+  bool Profile = false;         ///< --profile: run the sampling profiler
+  uint32_t ProfileHz = 0;       ///< --profile-hz=N: sampling rate (0=default)
+  std::string ProfileFolded;    ///< --profile-folded=PATH: collapsed stacks
 };
+
+/// The cross-state profile accumulator. Each runMacroSuite call resolves
+/// the sampler's raw oop bits against its own VM's heap (bits go stale
+/// with the VM) and merges the named rows here; finishBenchFlags renders
+/// and exports the union.
+inline ProfileReport &benchProfile() {
+  static ProfileReport R;
+  return R;
+}
+
+/// Folds the profiler's current raw tables into benchProfile(), resolved
+/// against \p VM's heap. Call just before a bench VM shuts down — after
+/// shutdown the sampled oop bits are unresolvable. No-op when the
+/// profiler never ran.
+inline void benchProfileFold(VirtualMachine &VM) {
+  if (Profiler::enabled() || Profiler::ticks() > 0) {
+    benchProfile().merge(VM.buildProfileReport());
+    Profiler::reset();
+  }
+}
 
 /// Shared prewarmed-image path (set by --image=PATH). When non-empty the
 /// bench VMs boot by loading this snapshot instead of re-running the
@@ -141,17 +164,29 @@ inline BenchFlags parseBenchFlags(int Argc, char **Argv) {
       benchImagePath() = F.ImagePath;
     } else if (std::strncmp(A, "--chaos-seed=", 13) == 0) {
       chaos::enableSeed(std::strtoull(A + 13, nullptr, 0));
+    } else if (std::strcmp(A, "--profile") == 0) {
+      F.Profile = true;
+    } else if (std::strncmp(A, "--profile-hz=", 13) == 0) {
+      F.Profile = true;
+      F.ProfileHz =
+          static_cast<uint32_t>(std::strtoul(A + 13, nullptr, 0));
+    } else if (std::strncmp(A, "--profile-folded=", 17) == 0) {
+      F.Profile = true;
+      F.ProfileFolded = A + 17;
     } else {
       std::fprintf(stderr,
                    "unknown argument '%s'\nusage: %s [--telemetry] "
                    "[--trace-out=PATH] [--json-out=PATH] [--image=PATH] "
-                   "[--chaos-seed=N]\n",
+                   "[--chaos-seed=N] [--profile] [--profile-hz=N] "
+                   "[--profile-folded=PATH]\n",
                    A, Argv[0]);
       std::exit(2);
     }
   }
   if (!F.TraceOut.empty())
     Telemetry::setTracingEnabled(true);
+  if (F.Profile)
+    startVmProfiler(F.ProfileHz);
   if (!chaos::enabled())
     chaos::enableFromEnv();
   return F;
@@ -183,6 +218,19 @@ inline void finishBenchFlags(const BenchFlags &F,
     else
       std::fprintf(stderr, "failed to write trace to %s\n",
                    F.TraceOut.c_str());
+  }
+  if (F.Profile) {
+    stopVmProfiler();
+    const ProfileReport &R = benchProfile();
+    std::printf("%s", R.render().c_str());
+    if (!F.ProfileFolded.empty()) {
+      if (R.writeFolded(F.ProfileFolded))
+        std::printf("folded stacks written to %s (feed to flamegraph.pl)\n",
+                    F.ProfileFolded.c_str());
+      else
+        std::fprintf(stderr, "failed to write folded stacks to %s\n",
+                     F.ProfileFolded.c_str());
+    }
   }
 }
 
@@ -237,6 +285,7 @@ inline std::vector<TimedRun> runMacroSuite(
     terminateCompetitors(VM, "Competitors");
   if (SnapOut)
     *SnapOut = Telemetry::snapshot();
+  benchProfileFold(VM);
   VM.shutdown();
   return Times;
 }
@@ -278,7 +327,12 @@ inline bool writeBenchJson(const std::string &Path,
     Os << "],\"telemetry\":"
        << (SI < Snaps.size() ? Telemetry::toJson(Snaps[SI]) : "{}") << "}";
   }
-  Os << "]}";
+  Os << "]";
+  // When the sampling profiler ran, the accumulated cross-state profile
+  // rides along in the versioned artifact.
+  if (!benchProfile().empty())
+    Os << ",\"profile\":" << benchProfile().toJson();
+  Os << "}";
   return static_cast<bool>(Os);
 }
 

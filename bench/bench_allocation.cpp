@@ -59,13 +59,15 @@ Result measure(AllocatorKind Kind, int N) {
   R.LockAcq = VM.memory().allocationLock().acquisitions();
   R.LockContended = VM.memory().allocationLock().contendedAcquisitions();
   R.Scavenges = VM.memory().statsSnapshot().Scavenges;
+  benchProfileFold(VM);
   VM.shutdown();
   return R;
 }
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  BenchFlags Flags = parseBenchFlags(argc, argv);
   int N = static_cast<int>(100000 * benchScale(1.0));
   std::printf("Storage allocation: serialized bump pointer vs replicated "
               "new space / TLABs (paper §4)\n\n");
@@ -89,5 +91,6 @@ int main() {
   std::printf("%s\n", T.render().c_str());
   std::printf("Expected: replicating the new-object space reduces "
               "contended allocation overhead.\n");
+  finishBenchFlags(Flags, Telemetry::snapshot());
   return 0;
 }

@@ -60,13 +60,15 @@ Result measure(FreeContextKind Kind, int FibN) {
   R.Contended = timedFib(VM, FibN);
   terminateCompetitors(VM, "FibCompetitors");
   R.Reuses = VM.contextPool().reuses();
+  benchProfileFold(VM);
   VM.shutdown();
   return R;
 }
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  BenchFlags Flags = parseBenchFlags(argc, argv);
   int FibN = static_cast<int>(24 + benchScale(0.0));
   std::printf("Free context list: serialization vs replication "
               "(paper §3.2: worst-case overhead 160%% -> 65%%)\n\n");
@@ -92,5 +94,6 @@ int main() {
   std::printf("Replication reduced contended overhead from %.0f%% to "
               "%.0f%% (paper: 160%% -> 65%%).\n",
               SharedOver * 100.0, ReplOver * 100.0);
+  finishBenchFlags(Flags, Telemetry::snapshot());
   return 0;
 }

@@ -134,6 +134,7 @@ MacroRun measureMacro(bool FullGcOn, double Scale) {
   Out.Snap = Telemetry::snapshot();
   Out.Gc = VM.memory().fullGcStatsSnapshot();
   Out.OldUsed = VM.memory().oldSpaceUsed();
+  benchProfileFold(VM);
   VM.shutdown();
   return Out;
 }
@@ -176,7 +177,10 @@ bool writeJson(const std::string &Path, double Scale,
   EmitMacro("on", On);
   Os << ',';
   EmitMacro("off", Off);
-  Os << "]}";
+  Os << "]";
+  if (!benchProfile().empty())
+    Os << ",\"profile\":" << benchProfile().toJson();
+  Os << "}";
   return static_cast<bool>(Os);
 }
 

@@ -67,13 +67,15 @@ Result measure(MethodCacheKind Kind, int N) {
   terminateCompetitors(VM, "StormCompetitors");
   R.Hits = VM.cache().hits();
   R.Misses = VM.cache().misses();
+  benchProfileFold(VM);
   VM.shutdown();
   return R;
 }
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  BenchFlags Flags = parseBenchFlags(argc, argv);
   int N = static_cast<int>(30000 * benchScale(1.0));
   std::printf("Method lookup cache: two-level-locked global cache vs "
               "per-interpreter replication (paper §3.2)\n\n");
@@ -100,5 +102,6 @@ int main() {
   std::printf("%s\n", T.render().c_str());
   std::printf("Expected: the locked cache runs 'much too slowly' under "
               "competition; replication solves it.\n");
+  finishBenchFlags(Flags, Telemetry::snapshot());
   return 0;
 }

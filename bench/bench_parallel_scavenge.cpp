@@ -50,10 +50,12 @@ Row measure(unsigned Workers, int N) {
           "nil hostSignal: " + std::to_string(Sig),
       5, "live-churn");
   if (P.isNull() || !VM.waitHostSignal(Sig, 1, 600.0)) {
+    benchProfileFold(VM);
     VM.shutdown();
     return Row{Workers, 0, -1.0, 0.0, 0};
   }
   ScavengeStats S = VM.memory().statsSnapshot();
+  benchProfileFold(VM);
   VM.shutdown();
   return Row{Workers, S.Scavenges, S.TotalPauseSec,
              S.Scavenges ? S.TotalPauseSec /
@@ -64,7 +66,8 @@ Row measure(unsigned Workers, int N) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  BenchFlags Flags = parseBenchFlags(argc, argv);
   int N = static_cast<int>(300000 * benchScale(1.0));
   std::printf("Parallel scavenging: workers applied to one scavenge "
               "(paper §3.1/§6, the unperformed experiment)\n\n");
@@ -98,5 +101,6 @@ int main() {
               "the workers time-share and only the mechanism is "
               "demonstrated.\n",
               std::thread::hardware_concurrency());
+  finishBenchFlags(Flags, Telemetry::snapshot());
   return 0;
 }

@@ -58,6 +58,7 @@ Row measure(size_t EdenBytes, int N) {
     Total = Watch.seconds();
 
   ScavengeStats S = VM.memory().statsSnapshot();
+  benchProfileFold(VM);
   VM.shutdown();
   Row R{};
   R.EdenKb = EdenBytes / 1024;
@@ -74,7 +75,8 @@ Row measure(size_t EdenBytes, int N) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  BenchFlags Flags = parseBenchFlags(argc, argv);
   int N = static_cast<int>(200000 * benchScale(1.0));
   std::printf("Generation Scavenging: eden-size sweep (paper §3.1: "
               "frequency ~ r/s; overhead ~3%%)\n\n");
@@ -95,5 +97,6 @@ int main() {
   std::printf("Expected: doubling s roughly halves the scavenge count "
               "(frequency ~ r/s); the GC share stays small; pause time "
               "tracks survivors, not garbage.\n");
+  finishBenchFlags(Flags, Telemetry::snapshot());
   return 0;
 }

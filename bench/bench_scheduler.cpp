@@ -54,6 +54,7 @@ Row measureYieldStorm(unsigned Yielders, int YieldsEach) {
                       : -1.0;
   R.LockAcq = VM.scheduler().lock().acquisitions();
   R.LockContended = VM.scheduler().lock().contendedAcquisitions();
+  benchProfileFold(VM);
   VM.shutdown();
   return R;
 }
@@ -78,13 +79,15 @@ double measurePingPong(int Rounds) {
               5, "ponger");
   bool Ok = VM.waitHostSignal(Sig, 2, 600.0);
   double Sec = Watch.seconds();
+  benchProfileFold(VM);
   VM.shutdown();
   return Ok ? 2.0 * Rounds / Sec : -1.0;
 }
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  BenchFlags Flags = parseBenchFlags(argc, argv);
   int YieldsEach = static_cast<int>(20000 * benchScale(1.0));
   std::printf("Scheduling: the serialized single ready queue under its "
               "worst cases (paper §3.1)\n\n");
@@ -108,5 +111,6 @@ int main() {
   std::printf("Expected: throughput in the hundreds of thousands per "
               "second — 'these events are relatively infrequent, so "
               "serialization through a lock on the queue is adequate'.\n");
+  finishBenchFlags(Flags, Telemetry::snapshot());
   return 0;
 }

@@ -110,6 +110,7 @@ int main(int argc, char **argv) {
     terminateCompetitors(VM, "Competitors");
     std::printf("\n%s", VM.statisticsReport().c_str());
     std::printf("\n%s", VM.telemetryReport().c_str());
+    benchProfileFold(VM);
     VM.shutdown();
   }
 

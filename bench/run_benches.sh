@@ -2,12 +2,15 @@
 # Runs the Table 2 / Figure 2 macro benchmark suites and emits versioned
 # machine-readable results (BENCH_<name>_<git-rev>.json), each including
 # the telemetry snapshot (lock contention, cache hit rates, scavenge pause
-# percentiles) for every system state.
+# percentiles) for every system state, plus the sampling profiler's
+# collapsed-stack output (PROFILE_<name>_*.folded — feed to flamegraph.pl).
 #
 # Usage: bench/run_benches.sh [build-dir] [out-dir]
 #   build-dir  where the bench binaries live (default: build)
 #   out-dir    where to put the JSON files   (default: bench/results)
-# Environment: MST_BENCH_SCALE scales the workload (default per binary).
+# Environment:
+#   MST_BENCH_SCALE      scales the workload (default per binary)
+#   MST_BENCH_NO_PROFILE set non-empty to skip the profiler flags
 
 set -euo pipefail
 
@@ -18,13 +21,24 @@ STAMP="$(date +%Y%m%d-%H%M%S)"
 
 mkdir -p "$OUT_DIR"
 
+fail() { echo "run_benches: $*" >&2; exit 1; }
+
 for NAME in prewarm table2 figure2 fullgc; do
   BIN="$BUILD_DIR/bench/bench_$NAME"
-  if [ ! -x "$BIN" ]; then
-    echo "missing $BIN — build first (cmake --build $BUILD_DIR -j)" >&2
-    exit 1
-  fi
+  [ -e "$BIN" ] || fail "missing $BIN — build first (cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)"
+  [ -x "$BIN" ] || fail "$BIN exists but is not executable"
 done
+
+# A result file must exist, be non-empty, and parse as JSON (when a JSON
+# parser is on the host) — a suite that silently wrote nothing or died
+# mid-write must fail the run, not version a corrupt artifact.
+check_json() {
+  local F="$1"
+  [ -s "$F" ] || fail "$F is missing or empty"
+  if command -v python3 >/dev/null 2>&1; then
+    python3 -m json.tool "$F" >/dev/null 2>&1 || fail "$F is not valid JSON"
+  fi
+}
 
 # Bootstrap + macro-workload compilation once; every suite then boots each
 # system state from the prewarmed snapshot, and the per-state image load
@@ -32,13 +46,23 @@ done
 # telemetry block.
 IMAGE="$OUT_DIR/prewarmed_${REV}.image"
 echo "=== bench_prewarm -> $IMAGE ==="
-"$BUILD_DIR/bench/bench_prewarm" "$IMAGE"
+"$BUILD_DIR/bench/bench_prewarm" "$IMAGE" || fail "bench_prewarm exited $?"
+[ -s "$IMAGE" ] || fail "prewarmed image $IMAGE is missing or empty"
 
 for NAME in table2 figure2 fullgc; do
   BIN="$BUILD_DIR/bench/bench_$NAME"
   OUT="$OUT_DIR/BENCH_${NAME}_${REV}_${STAMP}.json"
+  FOLDED="$OUT_DIR/PROFILE_${NAME}_${REV}_${STAMP}.folded"
+  PROFILE_FLAGS=()
+  [ -n "${MST_BENCH_NO_PROFILE:-}" ] || \
+    PROFILE_FLAGS=(--profile "--profile-folded=$FOLDED")
   echo "=== bench_$NAME -> $OUT ==="
-  "$BIN" --json-out="$OUT" --image="$IMAGE"
+  "$BIN" --json-out="$OUT" --image="$IMAGE" "${PROFILE_FLAGS[@]}" \
+    || fail "bench_$NAME exited $?"
+  check_json "$OUT"
+  if [ -z "${MST_BENCH_NO_PROFILE:-}" ]; then
+    [ -s "$FOLDED" ] || fail "bench_$NAME produced no folded profile at $FOLDED"
+  fi
 done
 
 echo "done. results in $OUT_DIR/"

@@ -44,6 +44,9 @@ int main(int argc, char **argv) {
   std::string LoadPath;     // --load=: boot from an image, skip bootstrap
   uint64_t SnapshotEveryMs = 0;
   unsigned SnapshotKeep = 0;
+  bool Profile = false;        // --profile: sampling profiler
+  uint32_t ProfileHz = 0;      // --profile-hz=N (0 = default rate)
+  std::string ProfileFolded;   // --profile-folded=PATH: collapsed stacks
   VmConfig Config = VmConfig::multiprocessor(1);
   for (int I = 1; I < argc; ++I) {
     const char *A = argv[I];
@@ -77,13 +80,22 @@ int main(int argc, char **argv) {
     } else if (std::strncmp(A, "--snapshot-keep=", 16) == 0) {
       SnapshotKeep =
           static_cast<unsigned>(std::strtoul(A + 16, nullptr, 0));
+    } else if (std::strcmp(A, "--profile") == 0) {
+      Profile = true;
+    } else if (std::strncmp(A, "--profile-hz=", 13) == 0) {
+      Profile = true;
+      ProfileHz = static_cast<uint32_t>(std::strtoul(A + 13, nullptr, 0));
+    } else if (std::strncmp(A, "--profile-folded=", 17) == 0) {
+      Profile = true;
+      ProfileFolded = A + 17;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--telemetry] [--trace-out=PATH] "
                    "[--chaos-seed=N] [--fullgc-threshold=BYTES] "
                    "[--fullgc-off] [--max-heap=BYTES] [--watchdog-ms=N] "
                    "[--snapshot=PATH] [--load=PATH] [--snapshot-every=MS] "
-                   "[--snapshot-keep=N]\n",
+                   "[--snapshot-keep=N] [--profile] [--profile-hz=N] "
+                   "[--profile-folded=PATH]\n",
                    argv[0]);
       return 2;
     }
@@ -94,6 +106,8 @@ int main(int argc, char **argv) {
   }
   if (!chaos::enabled())
     chaos::enableFromEnv(); // MST_CHAOS_SEED et al.
+  if (Profile)
+    startVmProfiler(ProfileHz);
 
   if (Config.Memory.MaxHeapBytes) {
     // Keep the young generation evacuable under the ceiling: a scavenge
@@ -173,6 +187,20 @@ int main(int argc, char **argv) {
   }
   if (TelemetryReport)
     std::printf("\n%s", VM.telemetryReport().c_str());
+  if (Profile) {
+    // Resolve against the live heap before the VM goes away.
+    stopVmProfiler();
+    ProfileReport R = VM.buildProfileReport();
+    std::printf("\n%s", R.render().c_str());
+    if (!ProfileFolded.empty()) {
+      if (R.writeFolded(ProfileFolded))
+        std::printf("folded stacks written to %s (feed to flamegraph.pl)\n",
+                    ProfileFolded.c_str());
+      else
+        std::fprintf(stderr, "failed to write folded stacks to %s\n",
+                     ProfileFolded.c_str());
+    }
+  }
   if (!TraceOut.empty()) {
     if (writeChromeTrace(TraceOut))
       std::printf("trace written to %s (open in https://ui.perfetto.dev)\n",

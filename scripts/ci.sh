@@ -30,6 +30,13 @@
 #                from the environment, proving torn and corrupt images are
 #                rejected with diagnostics — never a crash — and the
 #                atomic-rename protocol keeps the target loadable.
+#   profile      ASan+UBSan build with benches ON: bench_table2 runs with
+#                --profile, the folded flamegraph export must parse and
+#                name at least one Smalltalk selector, and a second
+#                profiler-off run gates the sampling overhead. The design
+#                target is <1%; CI noise under sanitizers gets headroom up
+#                to MST_PROFILE_OVERHEAD_MAX_PCT (default 5) before the
+#                lane fails.
 #
 # The stress binaries print the failing chaos seed in the test output
 # (SCOPED_TRACE "chaos-seed=N"); reproduce with MST_CHAOS_SEED=N.
@@ -136,9 +143,86 @@ do_snapfuzz() {
     --output-on-failure -j "$JOBS"
 }
 
+do_profile() {
+  banner "profile: ASan+UBSan benches, bench_table2 --profile + overhead gate"
+  cmake -B build-ci/profile -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DMST_SANITIZE=address,undefined \
+    -DMST_BUILD_BENCH=ON >/dev/null
+  cmake --build build-ci/profile -j "$JOBS" \
+    --target bench_table2 bench_prewarm
+  local out=build-ci/profile/profile-artifacts
+  mkdir -p "$out"
+  local scale=${MST_PROFILE_BENCH_SCALE:-0.3}
+  local folded="$out/table2.folded"
+
+  build-ci/profile/bench/bench_prewarm "$out/prewarmed.image"
+
+  # Profiler on: the folded flamegraph export must exist, parse, and name
+  # at least one Smalltalk method frame ("Class>>selector").
+  MST_BENCH_SCALE="$scale" build-ci/profile/bench/bench_table2 \
+    --image="$out/prewarmed.image" --profile \
+    --profile-folded="$folded" --json-out="$out/table2-on.json" \
+    >"$out/table2-on.log"
+  [ -s "$folded" ] || {
+    echo "profile lane: folded output missing or empty" >&2
+    exit 1
+  }
+  awk 'NF {
+    if ($NF !~ /^[0-9]+$/ || $0 !~ /;/) {
+      print "profile lane: unparseable folded line: " $0 > "/dev/stderr"
+      exit 1
+    }
+  }' "$folded"
+  grep -q '>>' "$folded" || {
+    echo "profile lane: no Class>>selector frame in $folded" >&2
+    exit 1
+  }
+  echo "profile lane: $(wc -l <"$folded") folded rows," \
+    "$(grep -c '>>' "$folded") with Smalltalk frames"
+
+  # Profiler off: same workload, same scale — the throughput baseline.
+  MST_BENCH_SCALE="$scale" build-ci/profile/bench/bench_table2 \
+    --image="$out/prewarmed.image" --json-out="$out/table2-off.json" \
+    >"$out/table2-off.log"
+
+  # Overhead gate on summed per-benchmark CPU seconds. The design target
+  # is <1% at the default hz; sanitizer + shared-runner noise gets
+  # headroom up to MST_PROFILE_OVERHEAD_MAX_PCT before the lane fails.
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "$out/table2-on.json" "$out/table2-off.json" <<'PYEOF'
+import json, os, sys
+
+def total(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return sum(r["cpu_sec"] for s in doc["states"] for r in s["results"]
+               if r["ok"])
+
+on, off = total(sys.argv[1]), total(sys.argv[2])
+if off <= 0:
+    print("profile lane: zero baseline CPU time, skipping overhead gate")
+    sys.exit(0)
+pct = (on / off - 1.0) * 100.0
+limit = float(os.environ.get("MST_PROFILE_OVERHEAD_MAX_PCT", "5"))
+print(f"profile lane: cpu on={on:.3f}s off={off:.3f}s "
+      f"overhead={pct:+.2f}% (design target <1%, lane limit {limit}%)")
+if pct > 1.0:
+    print("profile lane: WARNING overhead above the 1% design target "
+          "(tolerated up to the lane limit for CI noise)")
+if pct > limit:
+    print(f"profile lane: overhead {pct:+.2f}% exceeds limit {limit}%",
+          file=sys.stderr)
+    sys.exit(1)
+PYEOF
+  else
+    echo "profile lane: python3 unavailable, skipping overhead gate"
+  fi
+}
+
 CONFIGS=("$@")
 if [ ${#CONFIGS[@]} -eq 0 ]; then
-  CONFIGS=(release debug-chaos tsan asan smallheap snapfuzz)
+  CONFIGS=(release debug-chaos tsan asan smallheap snapfuzz profile)
 fi
 
 for C in "${CONFIGS[@]}"; do
@@ -149,9 +233,10 @@ for C in "${CONFIGS[@]}"; do
   asan) do_asan ;;
   smallheap) do_smallheap ;;
   snapfuzz) do_snapfuzz ;;
+  profile) do_profile ;;
   *)
     echo "unknown configuration: $C" \
-      "(known: release debug-chaos tsan asan smallheap snapfuzz)" >&2
+      "(known: release debug-chaos tsan asan smallheap snapfuzz profile)" >&2
     exit 2
     ;;
   esac

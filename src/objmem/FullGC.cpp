@@ -10,6 +10,7 @@
 
 #include "objmem/ObjectMemory.h"
 #include "objmem/Scavenger.h"
+#include "obs/Profiler.h"
 #include "obs/TraceBuffer.h"
 #include "support/Assert.h"
 #include "vkernel/Chaos.h"
@@ -222,6 +223,7 @@ void FullGC::sweepLoop(unsigned W) {
 }
 
 void FullGC::run() {
+  ProfStateScope Prof(ProfState::FullGc);
   {
     TraceSpan Span("fullgc.mark", "gc");
     seedRoots();

@@ -12,6 +12,7 @@
 
 #include "objmem/FullGC.h"
 #include "objmem/Scavenger.h"
+#include "obs/Profiler.h"
 #include "obs/TraceBuffer.h"
 #include "support/Assert.h"
 #include "support/Panic.h"
@@ -238,6 +239,10 @@ Oop ObjectMemory::allocateNew(Oop Cls, uint32_t Slots, ObjectFormat Format,
     std::memset(H->bytes(), 0, size_t(Slots) * sizeof(Oop));
   else
     fillWithNil(H);
+  // Allocation-site profile: every new-space allocation funnels through
+  // here, so one sampled hook covers objects and contexts alike.
+  if (Profiler::enabled())
+    profNoteAllocation(ClsHandle.get().bits());
   return Oop::fromObject(H);
 }
 
@@ -277,6 +282,8 @@ Oop ObjectMemory::allocateContextObject(Oop Cls, uint32_t Slots) {
   assert(Slots > ContextSpSlotIndex && "context too small for its header");
   return allocateNew(Cls, Slots, ObjectFormat::Context, 0);
 }
+
+bool ObjectMemory::oldContains(const void *P) { return Old.contains(P); }
 
 Oop ObjectMemory::allocateOldPointers(Oop Cls, uint32_t Slots) {
   return allocateOld(Cls, Slots, ObjectFormat::Pointers, 0);

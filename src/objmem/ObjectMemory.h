@@ -255,6 +255,11 @@ public:
   Safepoint &safepoint() { return Sp; }
   RememberedSet &rememberedSet() { return RemSet; }
 
+  /// \returns true when \p P points into an old-space chunk. Profile
+  /// resolution uses this to validate sampled method bits before
+  /// dereferencing them (takes the old-space allocation lock).
+  bool oldContains(const void *P);
+
   /// --- Memory pressure ----------------------------------------------------
 
   /// \returns obtainable old-space bytes: recycled free-list bytes plus

@@ -11,6 +11,7 @@
 #include <thread>
 #include <utility>
 
+#include "obs/Profiler.h"
 #include "obs/TraceBuffer.h"
 #include "support/Assert.h"
 #include "support/Panic.h"
@@ -92,6 +93,7 @@ std::string Safepoint::describeMutators() {
 }
 
 void Safepoint::pollSlow() {
+  ProfStateScope Prof(ProfState::Safepoint);
   chaos::point("safepoint.poll");
   if (chaos::failPoint("watchdog.stall")) {
     // Deliberately late to the rendezvous: sleep well past the watchdog
@@ -129,6 +131,9 @@ void Safepoint::blockedRegionEnter() {
 }
 
 void Safepoint::blockedRegionLeave() {
+  // The wait below is for a stop-the-world pause to finish, so the time
+  // is a safepoint park, not whatever blocked state the region covered.
+  ProfStateScope Prof(ProfState::Safepoint);
   chaos::point("safepoint.blocked.leave");
   std::unique_lock<std::mutex> Lock(Mutex);
   Cv.wait(Lock, [this] { return !Pending && !InProgress; });
@@ -139,6 +144,10 @@ void Safepoint::blockedRegionLeave() {
 }
 
 bool Safepoint::requestStopTheWorld() {
+  // Covers both outcomes: parking behind another collector and waiting
+  // out our own rendezvous. The collection itself re-tags the state
+  // (Scavenger/FullGC install their own scopes).
+  ProfStateScope Prof(ProfState::Safepoint);
   chaos::point("safepoint.request");
   std::unique_lock<std::mutex> Lock(Mutex);
   MutState *Mine = myStateLocked();

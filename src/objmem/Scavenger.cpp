@@ -10,6 +10,7 @@
 #include <thread>
 
 #include "objmem/ObjectMemory.h"
+#include "obs/Profiler.h"
 #include "support/Assert.h"
 #include "support/Panic.h"
 
@@ -253,6 +254,8 @@ void Scavenger::rebuildRememberedSet() {
 }
 
 void Scavenger::run() {
+  // The coordinating mutator's wall time is GC, not Smalltalk execution.
+  ProfStateScope Prof(ProfState::Scavenge);
   assert(ToSpace->used() == 0 && "to-space must be empty before a scavenge");
 
   std::vector<Oop *> Roots;

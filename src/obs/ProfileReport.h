@@ -1,0 +1,111 @@
+//===-- obs/ProfileReport.h - Resolved profile reports ----------*- C++ -*-===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The resolved, human-consumable side of the sampling profiler. The
+/// Profiler accumulates raw oop bits; this layer turns a Profiler::Data
+/// snapshot into named rows via a caller-supplied resolver (the VM layer
+/// provides one that validates bits against the live heap and renders
+/// "Class>>selector" through the SymbolTable), producing:
+///
+///   - a method hot-spot table (self samples, % of wall, per state),
+///   - a per-vproc state breakdown (running vs lock-wait vs GC ...),
+///   - a selector-keyed method-cache-miss profile,
+///   - an allocation-site profile (method x instantiated class),
+///   - collapsed-stack text ("vp0;Class>>selector;lock-wait 42") for
+///     standard flamegraph tooling, and
+///   - a JSON object merged into the telemetry export.
+///
+/// Reports are string-keyed and mergeable, so a benchmark that builds one
+/// VM per system state can resolve each run against its own heap and fold
+/// the results into a single profile.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MST_OBS_PROFILEREPORT_H
+#define MST_OBS_PROFILEREPORT_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obs/Profiler.h"
+
+namespace mst {
+
+/// Turns raw oop bits into names. Every callback returns "" for bits it
+/// cannot (or can no longer) resolve; resolveProfile substitutes the
+/// placeholder spelling. Callbacks must not assume the bits are valid —
+/// a sampled method may have been swept by a full collection since.
+struct ProfileResolver {
+  std::function<std::string(uintptr_t)> MethodName;   ///< "Class>>selector"
+  std::function<std::string(uintptr_t)> ClassName;    ///< receiver class
+  std::function<std::string(uintptr_t)> SelectorName; ///< selector symbol
+};
+
+class ProfileReport {
+public:
+  /// One resolved (vproc, state, frame) sample bucket.
+  struct SampleRow {
+    std::string Vproc; ///< "vp0", "driver", ...
+    std::string State; ///< profStateName spelling
+    std::string Frame; ///< "Class>>selector" or a placeholder
+    uint64_t Count = 0;
+  };
+
+  /// One resolved two-part site row (miss and allocation profiles).
+  struct SiteRow {
+    std::string A; ///< call-site method / instantiating method
+    std::string B; ///< selector / instantiated class
+    uint64_t Count = 0;
+  };
+
+  std::vector<SampleRow> Samples;
+  std::vector<SiteRow> MissSites;  ///< (call-site method, selector)
+  std::vector<SiteRow> AllocSites; ///< (method, instantiated class)
+
+  uint64_t Ticks = 0;              ///< sampler wakeups
+  uint64_t TotalSamples = 0;       ///< slot-samples (ticks x active slots)
+  uint64_t AttributedSamples = 0;  ///< named method or non-running state
+  uint64_t AllocDropped = 0;
+  uint64_t MissDropped = 0;
+  uint32_t SampleHz = 0;
+  uint32_t AllocSamplePeriod = 0;
+
+  bool empty() const { return Samples.empty() && MissSites.empty() &&
+                              AllocSites.empty(); }
+
+  /// Folds \p O into this report, coalescing identical rows.
+  void merge(const ProfileReport &O);
+
+  /// Human-readable report: hot-spot table, per-vproc state breakdown,
+  /// miss profile, allocation profile.
+  std::string render() const;
+
+  /// Collapsed-stack text, one "frame;frame;frame count" line per bucket,
+  /// consumable by flamegraph.pl / inferno / speedscope.
+  std::string folded() const;
+
+  /// \returns a JSON object (not a document) for the telemetry export.
+  std::string toJson() const;
+
+  /// Writes folded() to \p Path. \returns false on I/O failure.
+  bool writeFolded(const std::string &Path) const;
+};
+
+/// Resolves a raw profiler snapshot into a report. Placeholders:
+/// "(reclaimed method)" for method bits the resolver rejects, "(no
+/// method)" for null bits, "?" for unresolvable classes/selectors. A
+/// sample counts as attributed when its frame is a real method name or
+/// its state is anything but running — the acceptance bar is that >= 90%
+/// of samples attribute on a busy workload.
+ProfileReport resolveProfile(const Profiler::Data &D,
+                             const ProfileResolver &R);
+
+} // namespace mst
+
+#endif // MST_OBS_PROFILEREPORT_H

@@ -37,6 +37,23 @@ struct Ring {
 struct TraceRegistry {
   std::mutex M;
   std::vector<std::unique_ptr<Ring>> Rings;
+  /// Events overwritten by ring wrap-around since process start. A Chrome
+  /// trace merged from wrapped rings silently shows only the most recent
+  /// window; this counter makes the truncation detectable.
+  Counter Dropped{"vm.trace.dropped"};
+  /// Overwritten events currently unrecoverable from the live rings
+  /// (resets with clearTrace, unlike the cumulative counter).
+  Gauge DroppedNow{"vm.trace.dropped.current", [this] {
+                     uint64_t N = 0;
+                     std::lock_guard<std::mutex> G(M);
+                     for (const auto &R : Rings) {
+                       uint64_t W =
+                           R->WriteIdx.load(std::memory_order_relaxed);
+                       if (W > TraceRingCapacity)
+                         N += W - TraceRingCapacity;
+                     }
+                     return N;
+                   }};
 };
 
 TraceRegistry &treg() {
@@ -73,6 +90,8 @@ Ring &myRing() {
 void append(const TraceEvent &E) {
   Ring &R = myRing();
   uint64_t W = R.WriteIdx.load(std::memory_order_relaxed);
+  if (W >= TraceRingCapacity)
+    treg().Dropped.add(); // overwriting the oldest event
   R.Events[W & (TraceRingCapacity - 1)] = E;
   R.WriteIdx.store(W + 1, std::memory_order_release);
 }

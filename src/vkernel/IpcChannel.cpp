@@ -8,6 +8,7 @@
 
 #include <algorithm>
 
+#include "obs/Profiler.h"
 #include "obs/TraceBuffer.h"
 #include "support/Assert.h"
 #include "vkernel/Chaos.h"
@@ -27,6 +28,7 @@ uint64_t IpcChannel::send(uint64_t Request) {
   // receiver's service time, and the reply wakeup.
   TraceSpan Span("ipc.send", "ipc");
   Span.setArg(Request);
+  ProfStateScope Prof(ProfState::IpcBlocked);
   chaos::point("ipc.send");
   Message Msg;
   Msg.Request = Request;
@@ -44,6 +46,7 @@ uint64_t IpcChannel::send(uint64_t Request) {
 
 IpcChannel::MessageHandle IpcChannel::receive(uint64_t &Request) {
   TraceSpan Span("ipc.receive", "ipc");
+  ProfStateScope Prof(ProfState::IpcBlocked);
   chaos::point("ipc.receive");
   std::unique_lock<std::mutex> Lock(Mutex);
   ++Waiters;

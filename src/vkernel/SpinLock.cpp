@@ -6,6 +6,7 @@
 
 #include "vkernel/SpinLock.h"
 
+#include "obs/Profiler.h"
 #include "obs/TraceBuffer.h"
 #include "vkernel/Chaos.h"
 #include "vkernel/Delay.h"
@@ -37,7 +38,10 @@ void SpinLock::lock() {
   }
   Contended.add();
   // The wait shows up on the timeline: a span named after the lock, in the
-  // "lock" category, covering the whole contended acquisition.
+  // "lock" category, covering the whole contended acquisition. The profile
+  // slot flips to lock-wait for the same window, so sampled contention and
+  // traced contention agree.
+  ProfStateScope Prof(ProfState::LockWait);
   TraceSpan Wait(TraceName ? TraceName : "lock.wait", "lock");
   // Spin with plain loads (no bus-locking exchange) for a short while, then
   // fall back to the kernel Delay with a minimal timeout, as MS does.

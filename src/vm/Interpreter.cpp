@@ -9,9 +9,11 @@
 #include <atomic>
 #include <cstdlib>
 
+#include "obs/Profiler.h"
 #include "obs/TraceBuffer.h"
 #include "support/Assert.h"
 #include "support/Timer.h"
+#include "vkernel/Chaos.h"
 #include "vm/Primitives.h"
 #include "vm/VirtualMachine.h"
 
@@ -36,6 +38,23 @@ void Interpreter::reloadFrame() {
   Code = Bytes.object()->bytes();
   Ip = static_cast<uint32_t>(CtxH->slots()[CtxIp].smallInt());
   SpVal = CtxH->slots()[CtxSp].smallInt();
+
+  // Profile-slot publication. Every activation, return, and GC point
+  // passes through here, so the slot always names the method now on top.
+  // Disabled cost: one relaxed store. The richer tuple (receiver class,
+  // pc, state) is published only while sampling; the tear chaos point
+  // sits between the stores so the stress lanes shake out mixed tuples.
+  if (ProfileSlot *PS = Profiler::slot()) {
+    PS->Method.store(CurMethod.bits(), std::memory_order_relaxed);
+    if (Profiler::enabled()) {
+      chaos::point("profiler.slot.tear");
+      PS->RecvClass.store(Om.classOf(HomeH->slots()[CtxReceiver]).bits(),
+                          std::memory_order_relaxed);
+      PS->Pc.store(Ip, std::memory_order_relaxed);
+      PS->State.store(static_cast<uint8_t>(ProfState::Running),
+                      std::memory_order_relaxed);
+    }
+  }
 }
 
 void Interpreter::writeBackIp() {
@@ -151,6 +170,9 @@ void Interpreter::doSend(Oop Selector, unsigned Argc, bool Super) {
 
   Oop Method, DefCls;
   if (!VM.cache().lookup(Id, StartCls, Selector, Method, DefCls)) {
+    ProfStateScope ProfMiss(ProfState::LookupMiss);
+    if (Profiler::enabled())
+      profNoteCacheMiss(CurMethod.bits(), Selector.bits());
     TraceSpan MissSpan("lookup.miss", "vm");
     ObjectModel::LookupResult R = Om.lookupMethod(StartCls, Selector);
     if (R.Method.isNull()) {
@@ -667,6 +689,8 @@ void Interpreter::saveProcessState() {
 
 void Interpreter::runLoop() {
   OM.registerMutator("interpreter-" + std::to_string(Id));
+  Profiler::registerThread("vp" + std::to_string(Id),
+                           static_cast<int>(Id));
   Safepoint &Sp = OM.safepoint();
 
   while (!VM.stopping()) {
@@ -726,6 +750,7 @@ void Interpreter::runLoop() {
     if (R == RunResult::Stopping)
       break;
   }
+  Profiler::retireThread();
   OM.unregisterMutator();
 }
 

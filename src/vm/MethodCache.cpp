@@ -72,6 +72,7 @@ bool MethodCache::lookup(unsigned InterpId, Oop Cls, Oop Selector,
     }
     GlobalLock.unlockShared();
     Stats.Misses.add();
+    Stats.MissGlobal.add();
     return false;
   }
   if (E) {
@@ -81,6 +82,7 @@ bool MethodCache::lookup(unsigned InterpId, Oop Cls, Oop Selector,
     return true;
   }
   Stats.Misses.add();
+  Stats.MissReplicated.add();
   return false;
 }
 

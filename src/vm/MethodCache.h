@@ -120,10 +120,16 @@ private:
 };
 
 /// Counters for the cache benches, registered process-wide as
-/// methodcache.hits / methodcache.misses.
+/// methodcache.hits / methodcache.misses, with misses additionally broken
+/// down by cache kind. Exactly one per-kind counter is bumped alongside
+/// every Misses bump, so methodcache.misses ==
+/// methodcache.miss.replicated + methodcache.miss.global always holds —
+/// the selector-keyed miss profile can cross-check against either.
 struct MethodCacheStats {
   Counter Hits{"methodcache.hits"};
   Counter Misses{"methodcache.misses"};
+  Counter MissReplicated{"methodcache.miss.replicated"};
+  Counter MissGlobal{"methodcache.miss.global"};
 };
 
 /// The cache facade used by interpreters. Holds either one shared locked
@@ -155,6 +161,8 @@ public:
 
   uint64_t hits() const { return Stats.Hits.value(); }
   uint64_t misses() const { return Stats.Misses.value(); }
+  uint64_t missesReplicated() const { return Stats.MissReplicated.value(); }
+  uint64_t missesGlobal() const { return Stats.MissGlobal.value(); }
 
 private:
   MethodCacheKind Kind;

@@ -8,6 +8,7 @@
 
 #include <chrono>
 
+#include "obs/Profiler.h"
 #include "support/Assert.h"
 #include "vkernel/Chaos.h"
 
@@ -230,6 +231,7 @@ bool Scheduler::releaseAfterSlice(Oop Proc) {
 }
 
 void Scheduler::waitForWork() {
+  ProfStateScope Prof(ProfState::Idle);
   chaos::point("sched.wait");
   std::unique_lock<std::mutex> Idle(IdleMutex);
   uint64_t Seen = WorkEpoch;

@@ -9,8 +9,10 @@
 #include <chrono>
 #include <fstream>
 
+#include "obs/Profiler.h"
 #include "obs/Telemetry.h"
 #include "support/Assert.h"
+#include "vkernel/Chaos.h"
 #include "support/Format.h"
 #include "support/Panic.h"
 #include "vm/Compiler.h"
@@ -51,6 +53,7 @@ VirtualMachine::VirtualMachine(const VmConfig &Config)
       Om(std::make_unique<ObjectModel>(*OM)), Disp(Config.MpSupport),
       Events(Config.MpSupport), Kernel(Config.Processors) {
   OM->registerMutator("driver");
+  Profiler::registerThread("driver", static_cast<int>(Config.Interpreters));
   Om->initCore();
 
   Sched = std::make_unique<Scheduler>(*Om, OM->safepoint());
@@ -112,6 +115,7 @@ VirtualMachine::~VirtualMachine() {
   // The callback captures this; the memory outlives the scheduler in the
   // member order, so clear it before teardown begins.
   OM->setLowSpaceCallback(nullptr);
+  Profiler::retireThread();
   OM->unregisterMutator();
 }
 
@@ -337,12 +341,102 @@ std::string VirtualMachine::telemetryReport() {
 }
 
 bool VirtualMachine::writeTelemetryJson(const std::string &Path) {
+  std::string Json = Telemetry::toJson(Telemetry::snapshot());
+  // Splice the resolved profile in as a sibling of counters/gauges when
+  // there is one; the document stays a single JSON object either way.
+  if (Profiler::enabled() || Profiler::ticks() > 0) {
+    ProfileReport Report = buildProfileReport();
+    if (!Report.empty() && !Json.empty() && Json.back() == '}') {
+      Json.pop_back();
+      Json += ",\"profile\":" + Report.toJson() + "}";
+    }
+  }
   std::ofstream Os(Path, std::ios::binary | std::ios::trunc);
   if (!Os)
     return false;
-  Os << Telemetry::toJson(Telemetry::snapshot());
+  Os << Json;
   return static_cast<bool>(Os);
 }
+
+/// --- profiling -----------------------------------------------------------
+
+namespace {
+
+/// \returns the header for \p Bits when they still name a plausible live
+/// old-space object of \p WantFormat; nullptr otherwise. Old space never
+/// moves objects, and a swept header is rewritten as a Free block (with
+/// its body zap-filled), so the checks below turn "sampled bits went
+/// stale" into a resolution failure instead of a wild dereference.
+ObjectHeader *validOldObject(ObjectMemory &M, uintptr_t Bits,
+                             ObjectFormat WantFormat) {
+  Oop O = Oop::fromBits(Bits);
+  if (!O.isPointer())
+    return nullptr;
+  ObjectHeader *H = O.object();
+  if (!M.oldContains(H))
+    return nullptr;
+  if (H->Format != WantFormat)
+    return nullptr;
+  return H;
+}
+
+/// Byte contents of an old-space byte object (Symbol/String), or "".
+std::string safeBytes(ObjectMemory &M, Oop S) {
+  ObjectHeader *H = validOldObject(M, S.bits(), ObjectFormat::Bytes);
+  if (!H || H->ByteLength == 0)
+    return {};
+  return std::string(reinterpret_cast<const char *>(H->bytes()),
+                     H->ByteLength);
+}
+
+std::string safeClassName(ObjectMemory &M, uintptr_t Bits) {
+  ObjectHeader *H = validOldObject(M, Bits, ObjectFormat::Pointers);
+  if (!H || H->SlotCount < ClassSlotCount)
+    return {};
+  return safeBytes(M, H->slots()[ClsName]);
+}
+
+} // namespace
+
+ProfileResolver VirtualMachine::profileResolver() {
+  ObjectMemory *M = OM.get();
+  Oop MethodClass = Om->known().ClassCompiledMethod;
+  ProfileResolver R;
+  R.SelectorName = [M](uintptr_t Bits) {
+    return safeBytes(*M, Oop::fromBits(Bits));
+  };
+  R.ClassName = [M](uintptr_t Bits) { return safeClassName(*M, Bits); };
+  R.MethodName = [M, MethodClass](uintptr_t Bits) -> std::string {
+    ObjectHeader *H = validOldObject(*M, Bits, ObjectFormat::Pointers);
+    if (!H || H->classOop() != MethodClass ||
+        H->SlotCount < MethodSlotCount)
+      return {};
+    std::string Sel = safeBytes(*M, H->slots()[MthSelector]);
+    if (Sel.empty())
+      return {};
+    std::string Cls = safeClassName(*M, H->slots()[MthClass].bits());
+    return (Cls.empty() ? "?" : Cls) + ">>" + Sel;
+  };
+  return R;
+}
+
+ProfileReport VirtualMachine::buildProfileReport() {
+  return resolveProfile(Profiler::data(), profileResolver());
+}
+
+std::string VirtualMachine::profileReport() {
+  return buildProfileReport().render();
+}
+
+bool mst::startVmProfiler(uint32_t Hz) {
+  ProfilerOptions O;
+  if (Hz)
+    O.SampleHz = Hz;
+  O.TickHook = [] { chaos::point("profiler.sample"); };
+  return Profiler::start(O);
+}
+
+void mst::stopVmProfiler() { Profiler::stop(); }
 
 uint64_t VirtualMachine::totalBytecodes() const {
   uint64_t N = Driver->bytecodesExecuted();

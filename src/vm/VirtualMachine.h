@@ -33,6 +33,7 @@
 #include "io/Display.h"
 #include "io/EventQueue.h"
 #include "objmem/ObjectMemory.h"
+#include "obs/ProfileReport.h"
 #include "support/Timer.h"
 #include "vkernel/VKernel.h"
 #include "vm/FreeContextList.h"
@@ -181,9 +182,25 @@ public:
   /// contention by lock, cache hit rates, scavenge pause p50/p95/p99.
   std::string telemetryReport();
 
-  /// Writes Telemetry::toJson(Telemetry::snapshot()) to \p Path.
+  /// Writes Telemetry::toJson(Telemetry::snapshot()) to \p Path, with a
+  /// "profile" object spliced in when the sampling profiler has data.
   /// \returns false on I/O failure.
   bool writeTelemetryJson(const std::string &Path);
+
+  /// --- Profiling -----------------------------------------------------------
+
+  /// A resolver that turns sampled oop bits into names against this VM's
+  /// heap: bits are validated (pointer, old space, live CompiledMethod
+  /// header) before any slot is read, so methods swept by a full
+  /// collection since the sample resolve to "" rather than crashing.
+  ProfileResolver profileResolver();
+
+  /// Resolves everything the sampling profiler has accumulated so far
+  /// against this VM's heap. Call from a registered mutator thread.
+  ProfileReport buildProfileReport();
+
+  /// buildProfileReport().render() — the human-readable profile.
+  std::string profileReport();
 
 private:
   VmConfig Config;
@@ -221,6 +238,14 @@ private:
 
   Stopwatch Uptime;
 };
+
+/// Starts the process-wide sampling profiler with the VM's chaos hook
+/// installed on the sampler tick. \p Hz == 0 uses the default rate.
+/// \returns false if the sampler was already running.
+bool startVmProfiler(uint32_t Hz = 0);
+
+/// Stops and joins the sampler thread (accumulated data survives).
+void stopVmProfiler();
 
 } // namespace mst
 

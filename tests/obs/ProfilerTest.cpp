@@ -1,0 +1,157 @@
+//===-- tests/obs/ProfilerTest.cpp - Sampling profiler tests --------------===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Functional tests for the sampling profiler: a deterministic hot method
+/// must rank first with >= 90% sample attribution, and a VM run with the
+/// profiler disabled must leave the profiler completely cold (no ticks,
+/// no samples, no site events).
+///
+//===----------------------------------------------------------------------===//
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "TestVm.h"
+#include "obs/ProfileReport.h"
+#include "obs/Profiler.h"
+
+using namespace mst;
+
+namespace {
+
+/// Stops and wipes the process-wide profiler on scope exit, so a failing
+/// assertion cannot leak a running sampler into the next test.
+struct ProfilerGuard {
+  ProfilerGuard() {
+    Profiler::stop();
+    Profiler::reset();
+  }
+  ~ProfilerGuard() {
+    Profiler::stop();
+    Profiler::reset();
+  }
+};
+
+TEST(ProfilerTest, DisabledProfilerStaysCold) {
+  ProfilerGuard Guard;
+  ASSERT_FALSE(Profiler::enabled());
+
+  TestVm T;
+  EXPECT_EQ(T.evalInt("| s | s := 0. 1 to: 5000 do: [:i | s := s + i. "
+                      "Array new: 4]. ^s"),
+            12502500);
+
+  // No sampler ran: no ticks, and every slot's accumulation is empty —
+  // the per-send publication store must not create samples by itself.
+  EXPECT_FALSE(Profiler::enabled());
+  EXPECT_EQ(Profiler::ticks(), 0u);
+  for (const Profiler::VprocData &V : Profiler::data().Vprocs) {
+    EXPECT_TRUE(V.Samples.empty()) << V.Name;
+    EXPECT_TRUE(V.AllocSites.empty()) << V.Name;
+    EXPECT_TRUE(V.MissSites.empty()) << V.Name;
+  }
+  EXPECT_TRUE(T.vm().buildProfileReport().empty());
+}
+
+TEST(ProfilerTest, HotMethodRanksFirstWithHighAttribution) {
+  ProfilerGuard Guard;
+  TestVm T;
+  // One deterministic hot spot: an arithmetic spin installed as a real
+  // method, so the profiler must attribute it as "Integer>>profilerSpin".
+  addMethod(T.vm(), T.om().globalAt("Integer"), "profiling",
+            "profilerSpin | s | s := 0. 1 to: 200000 do: [:i | s := s + "
+            "i]. ^s");
+
+  ASSERT_TRUE(startVmProfiler(4000));
+  ASSERT_TRUE(Profiler::enabled());
+
+  // Run the hot method until the sampler has a solid population (bounded
+  // by rounds so a starved host still terminates).
+  ProfileReport R;
+  for (int Round = 0; Round < 200; ++Round) {
+    T.evalInt("^3 profilerSpin");
+    R = T.vm().buildProfileReport();
+    if (R.TotalSamples >= 200)
+      break;
+  }
+  stopVmProfiler();
+  R = T.vm().buildProfileReport();
+
+  ASSERT_GE(R.TotalSamples, 50u);
+  EXPECT_GT(R.Ticks, 0u);
+
+  // The acceptance bar: >= 90% of samples attribute to a named method or
+  // a non-running state.
+  EXPECT_GE(R.AttributedSamples * 10, R.TotalSamples * 9)
+      << "attributed " << R.AttributedSamples << " of " << R.TotalSamples;
+
+  // The spin method is the top running frame.
+  std::string Top;
+  uint64_t Best = 0;
+  for (const ProfileReport::SampleRow &S : R.Samples)
+    if (S.State == "running" && S.Count > Best) {
+      Best = S.Count;
+      Top = S.Frame;
+    }
+  EXPECT_EQ(Top, "Integer>>profilerSpin");
+
+  // It shows up in every export format.
+  EXPECT_NE(R.render().find("Integer>>profilerSpin"), std::string::npos);
+  EXPECT_NE(R.folded().find("Integer>>profilerSpin;running "),
+            std::string::npos);
+  EXPECT_NE(R.toJson().find("Integer>>profilerSpin"), std::string::npos);
+}
+
+TEST(ProfilerTest, StateScopesNestAndRestore) {
+  ProfilerGuard Guard;
+  ProfileSlot *S = Profiler::registerThread("state-test", -1);
+  ASSERT_NE(S, nullptr);
+  S->State.store(static_cast<uint8_t>(ProfState::Running),
+                 std::memory_order_relaxed);
+  {
+    ProfStateScope Outer(ProfState::Safepoint);
+    EXPECT_EQ(S->State.load(std::memory_order_relaxed),
+              static_cast<uint8_t>(ProfState::Safepoint));
+    {
+      ProfStateScope Inner(ProfState::Scavenge);
+      EXPECT_EQ(S->State.load(std::memory_order_relaxed),
+                static_cast<uint8_t>(ProfState::Scavenge));
+    }
+    EXPECT_EQ(S->State.load(std::memory_order_relaxed),
+              static_cast<uint8_t>(ProfState::Safepoint));
+  }
+  EXPECT_EQ(S->State.load(std::memory_order_relaxed),
+            static_cast<uint8_t>(ProfState::Running));
+  Profiler::retireThread();
+}
+
+TEST(ProfilerTest, ReportsMergeAndFoldedFormatIsStable) {
+  ProfileReport A, B;
+  A.Samples.push_back({"vp0", "running", "Foo>>bar", 3});
+  A.TotalSamples = 3;
+  A.AttributedSamples = 3;
+  B.Samples.push_back({"vp0", "running", "Foo>>bar", 2});
+  B.Samples.push_back({"vp1", "lock-wait", "Foo>>baz", 1});
+  B.MissSites.push_back({"Foo>>bar", "#baz", 7});
+  B.TotalSamples = 3;
+  B.AttributedSamples = 3;
+  A.merge(B);
+  EXPECT_EQ(A.TotalSamples, 6u);
+  // Identical rows coalesced: vp0 Foo>>bar is now one row of 5.
+  uint64_t BarCount = 0;
+  for (const ProfileReport::SampleRow &S : A.Samples)
+    if (S.Vproc == "vp0" && S.Frame == "Foo>>bar")
+      BarCount += S.Count;
+  EXPECT_EQ(BarCount, 5u);
+  EXPECT_EQ(A.Samples.size(), 2u);
+  EXPECT_EQ(A.MissSites.size(), 1u);
+  EXPECT_NE(A.folded().find("vp1;Foo>>baz;lock-wait 1"),
+            std::string::npos);
+}
+
+} // namespace

@@ -314,6 +314,28 @@ TEST_F(TracingTest, RingBufferWrapsKeepingNewestEvents) {
   EXPECT_TRUE(JsonChecker(Json).valid()) << Json.substr(0, 400);
 }
 
+TEST_F(TracingTest, DroppedCounterCountsRingOverwrites) {
+  // Each append past the ring's capacity overwrites the oldest event and
+  // bumps vm.trace.dropped; the .current gauge reports how far live rings
+  // have currently wrapped.
+  const uint64_t Before =
+      counterOf(Telemetry::snapshot(), "vm.trace.dropped");
+  for (size_t I = 0; I < TraceRingCapacity + 250; ++I)
+    traceInstant("test.dropflood", "test", I);
+  EXPECT_EQ(counterOf(Telemetry::snapshot(), "vm.trace.dropped"),
+            Before + 250);
+
+  bool Found = false;
+  uint64_t Current = 0;
+  for (const auto &[N, V] : Telemetry::snapshot().Gauges)
+    if (N == "vm.trace.dropped.current") {
+      Found = true;
+      Current = V;
+    }
+  EXPECT_TRUE(Found);
+  EXPECT_GE(Current, 250u);
+}
+
 TEST_F(TracingTest, ChromeTraceJsonSchema) {
   setTraceThreadInfo("tester", 2);
   {

@@ -77,6 +77,39 @@ TEST(MethodCacheTest, FlushSelectorIsTargeted) {
   EXPECT_TRUE(C.lookup(0, F.oop(0), F.oop(4), M, D));
 }
 
+TEST(MethodCacheTest, MissCountersBreakDownByKindAndAgree) {
+  // Every miss bumps exactly one per-kind counter, so the global total
+  // always equals the sum of the breakdown — the invariant the profiler's
+  // selector-keyed miss profile cross-checks against.
+  {
+    MethodCache C(MethodCacheKind::Replicated, 2, true);
+    FakeObjects F;
+    Oop M, D;
+    EXPECT_FALSE(C.lookup(0, F.oop(0), F.oop(1), M, D));
+    EXPECT_FALSE(C.lookup(1, F.oop(0), F.oop(1), M, D));
+    C.insert(0, F.oop(0), F.oop(1), F.oop(2), F.oop(3));
+    EXPECT_TRUE(C.lookup(0, F.oop(0), F.oop(1), M, D)); // hit: no miss bump
+    EXPECT_EQ(C.misses(), 2u);
+    EXPECT_EQ(C.missesReplicated(), 2u);
+    EXPECT_EQ(C.missesGlobal(), 0u);
+    EXPECT_EQ(C.misses(), C.missesReplicated() + C.missesGlobal());
+  }
+  {
+    MethodCache C(MethodCacheKind::GlobalLocked, 2, true);
+    FakeObjects F;
+    Oop M, D;
+    EXPECT_FALSE(C.lookup(0, F.oop(0), F.oop(1), M, D));
+    EXPECT_FALSE(C.lookup(1, F.oop(4), F.oop(1), M, D));
+    EXPECT_FALSE(C.lookup(0, F.oop(4), F.oop(5), M, D));
+    C.insert(0, F.oop(0), F.oop(1), F.oop(2), F.oop(3));
+    EXPECT_TRUE(C.lookup(1, F.oop(0), F.oop(1), M, D));
+    EXPECT_EQ(C.misses(), 3u);
+    EXPECT_EQ(C.missesGlobal(), 3u);
+    EXPECT_EQ(C.missesReplicated(), 0u);
+    EXPECT_EQ(C.misses(), C.missesReplicated() + C.missesGlobal());
+  }
+}
+
 TEST(MethodCacheTest, DifferentClassesDoNotCollideSemantically) {
   MethodCache C(MethodCacheKind::Replicated, 1, true);
   FakeObjects F;
