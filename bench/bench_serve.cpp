@@ -1,0 +1,245 @@
+//===-- bench/bench_serve.cpp - End-to-end serving traffic bench ----------===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serving layer under load: an in-process mst_serve Server (4 shards
+/// booted from the prewarmed snapshot) carrying traffic from 1000+
+/// concurrent loopback TCP sessions, with one shard killed mid-run to
+/// price crash recovery under fire. Reports sustained requests/sec and
+/// the serve.latency percentiles, plus the usual full telemetry block.
+///
+///   bench_serve --json-out=OUT.json --image=prewarmed.image
+///
+/// Scaled by MST_BENCH_SCALE (sessions and rounds; the session count
+/// never drops below 4 per thread). The traffic pattern keeps exactly one
+/// request outstanding per session — load concurrency comes from session
+/// count, matching an interactive-user fleet rather than a pipelined
+/// batch client.
+///
+//===----------------------------------------------------------------------===//
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <sys/resource.h>
+#include <thread>
+
+#include "BenchSupport.h"
+#include "serve/Client.h"
+#include "serve/Server.h"
+
+using namespace mst;
+using namespace mst::serve;
+
+namespace {
+
+/// The serving fleet needs ~2 fds per session in one process (client +
+/// server end of every loopback socket); the default soft cap of 1024
+/// would wedge the connect phase.
+void raiseFdLimit(rlim_t Want) {
+  rlimit R{};
+  if (getrlimit(RLIMIT_NOFILE, &R) != 0)
+    return;
+  if (R.rlim_cur >= Want)
+    return;
+  R.rlim_cur = std::min(Want, R.rlim_max);
+  setrlimit(RLIMIT_NOFILE, &R);
+}
+
+struct TrafficTotals {
+  std::atomic<uint64_t> Oks{0};
+  std::atomic<uint64_t> Errs{0};
+  std::atomic<uint64_t> Transport{0}; ///< connection-level failures
+};
+
+/// One worker: drives its slice of sessions round-robin, one outstanding
+/// request per session (send all, then collect all, per round).
+void drive(std::deque<Client> &Mine, int Rounds, TrafficTotals &T) {
+  for (int R = 0; R < Rounds; ++R) {
+    for (Client &C : Mine)
+      if (C.connected() && !C.sendLine("3 + 4 * " + std::to_string(R)))
+        C.disconnect();
+    for (Client &C : Mine) {
+      if (!C.connected()) {
+        ++T.Transport;
+        continue;
+      }
+      std::string Line, Tag, Value;
+      bool Ok = false;
+      if (!C.recvLine(Line, 600.0) ||
+          !parseResponseLine(Line, Ok, Tag, Value)) {
+        ++T.Transport;
+        C.disconnect();
+        continue;
+      }
+      // Crash-window ERRs are part of the measured workload.
+      ++(Ok ? T.Oks : T.Errs);
+    }
+  }
+}
+
+double histP(const Telemetry::Snapshot &S, const std::string &Name,
+             int Which) {
+  for (const auto &H : S.Histograms)
+    if (H.Name == Name)
+      return Which == 50 ? H.P50 : (Which == 95 ? H.P95 : H.P99);
+  return 0.0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  BenchFlags Flags = parseBenchFlags(argc, argv);
+  double Scale = benchScale(1.0);
+  const unsigned Shards = 4;
+  const unsigned Threads = 4;
+  const size_t Sessions = std::max<size_t>(
+      Threads * 4, static_cast<size_t>(1000 * Scale));
+  const int Rounds = std::max(4, static_cast<int>(12 * Scale));
+  raiseFdLimit(2 * Sessions + 256);
+
+  std::string DataDir;
+  {
+    char Buf[] = "/tmp/mst-bench-serve-XXXXXX";
+    const char *D = mkdtemp(Buf);
+    DataDir = D ? D : "/tmp";
+  }
+
+  ServerConfig Config;
+  Config.Pool.Shards = Shards;
+  Config.Pool.BaseImage = Flags.ImagePath;
+  Config.Pool.DataDir = DataDir;
+  Config.Pool.Vm = VmConfig::multiprocessor(1);
+  Server S(Config);
+  std::string Error;
+  if (!S.start(Error)) {
+    std::fprintf(stderr, "bench_serve: server start failed: %s\n",
+                 Error.c_str());
+    return 1;
+  }
+  std::printf("bench_serve: %u shards on port %u, %zu sessions x %d "
+              "rounds\n",
+              Shards, S.port(), Sessions, Rounds);
+
+  // Commit a checkpoint per shard so the mid-run crash restores real
+  // state rather than falling back to the base image.
+  Client Admin;
+  if (!Admin.connect(S.port())) {
+    std::fprintf(stderr, "bench_serve: admin connect failed\n");
+    return 1;
+  }
+  Admin.sendLine("!checkpoint");
+  for (unsigned I = 0; I < Shards; ++I) {
+    std::string Line;
+    if (!Admin.recvLine(Line, 600.0)) {
+      std::fprintf(stderr, "bench_serve: checkpoint did not answer\n");
+      return 1;
+    }
+  }
+
+  // Connect the fleet: Sessions concurrent sockets, striped over the
+  // worker threads (session ids are sequential, so every stripe spans
+  // all shards).
+  std::vector<std::deque<Client>> PerThread(Threads);
+  for (size_t I = 0; I < Sessions; ++I) {
+    Client C;
+    if (!C.connect(S.port())) {
+      std::fprintf(stderr, "bench_serve: connect %zu failed\n", I);
+      return 1;
+    }
+    PerThread[I % Threads].push_back(std::move(C));
+  }
+  std::printf("bench_serve: %zu sessions connected (active=%llu)\n",
+              Sessions,
+              static_cast<unsigned long long>(S.activeSessions()));
+
+  TrafficTotals Totals;
+  auto Start = std::chrono::steady_clock::now();
+  std::vector<std::thread> Workers;
+  const int Half = Rounds / 2;
+  for (unsigned W = 0; W < Threads; ++W)
+    Workers.emplace_back([&, W] {
+      // First half, then second half, with the shard kill in between —
+      // the barrier is per worker, so traffic never fully stops.
+      drive(PerThread[W], Half, Totals);
+      if (W == 0) {
+        bool Ok = false;
+        std::string Value;
+        Admin.eval("!kill 0", Ok, Value, 600.0);
+        std::printf("bench_serve: mid-run kill -> %s\n", Value.c_str());
+      }
+      drive(PerThread[W], Rounds - Half, Totals);
+    });
+  for (auto &T : Workers)
+    T.join();
+  double Elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    Start)
+          .count();
+
+  // Recovery must have happened and every shard must be serving again.
+  uint64_t Restarts = 0;
+  bool AllServing = true;
+  for (const auto &H : S.pool().health()) {
+    Restarts += H.Restarts;
+    AllServing = AllServing && H.State == "serving";
+  }
+  uint64_t Completed = Totals.Oks.load() + Totals.Errs.load();
+  double Rps = Completed / (Elapsed > 0 ? Elapsed : 1e-9);
+  Telemetry::Snapshot Snap = Telemetry::snapshot();
+  double P50 = histP(Snap, "serve.latency", 50);
+  double P95 = histP(Snap, "serve.latency", 95);
+  double P99 = histP(Snap, "serve.latency", 99);
+
+  std::printf("bench_serve: %llu responses in %.2fs (%.0f req/s), "
+              "errors=%llu, transport=%llu, restarts=%llu, p50=%.2fms "
+              "p99=%.2fms\n",
+              static_cast<unsigned long long>(Completed), Elapsed, Rps,
+              static_cast<unsigned long long>(Totals.Errs.load()),
+              static_cast<unsigned long long>(Totals.Transport.load()),
+              static_cast<unsigned long long>(Restarts), P50 / 1e6,
+              P99 / 1e6);
+
+  bool Pass = Totals.Transport.load() == 0 && Totals.Oks.load() > 0 &&
+              Restarts >= 1 && AllServing;
+  if (!Pass)
+    std::fprintf(stderr, "bench_serve: FAILED (transport=%llu oks=%llu "
+                         "restarts=%llu all_serving=%d)\n",
+                 static_cast<unsigned long long>(Totals.Transport.load()),
+                 static_cast<unsigned long long>(Totals.Oks.load()),
+                 static_cast<unsigned long long>(Restarts), AllServing);
+
+  if (!Flags.JsonOut.empty()) {
+    std::ofstream Out(Flags.JsonOut);
+    Out << "{\n  \"bench\": \"serve\",\n"
+        << "  \"scale\": " << Scale << ",\n"
+        << "  \"shards\": " << Shards << ",\n"
+        << "  \"sessions\": " << Sessions << ",\n"
+        << "  \"rounds\": " << Rounds << ",\n"
+        << "  \"responses\": " << Completed << ",\n"
+        << "  \"ok\": " << Totals.Oks.load() << ",\n"
+        << "  \"errors\": " << Totals.Errs.load() << ",\n"
+        << "  \"elapsed_sec\": " << Elapsed << ",\n"
+        << "  \"requests_per_sec\": " << Rps << ",\n"
+        << "  \"latency_p50_ns\": " << P50 << ",\n"
+        << "  \"latency_p95_ns\": " << P95 << ",\n"
+        << "  \"latency_p99_ns\": " << P99 << ",\n"
+        << "  \"shard_restarts\": " << Restarts << ",\n"
+        << "  \"all_shards_serving\": " << (AllServing ? "true" : "false")
+        << ",\n  \"telemetry\": " << Telemetry::toJson(Snap) << "\n}\n";
+    std::printf("results written to %s\n", Flags.JsonOut.c_str());
+  }
+
+  // Orderly drain (checkpoints every shard) before teardown.
+  for (auto &PT : PerThread)
+    for (auto &C : PT)
+      C.disconnect();
+  Admin.disconnect();
+  S.stop();
+  finishBenchFlags(Flags, Snap);
+  return Pass ? 0 : 1;
+}

@@ -23,7 +23,7 @@ mkdir -p "$OUT_DIR"
 
 fail() { echo "run_benches: $*" >&2; exit 1; }
 
-for NAME in prewarm table2 figure2 fullgc; do
+for NAME in prewarm table2 figure2 fullgc serve; do
   BIN="$BUILD_DIR/bench/bench_$NAME"
   [ -e "$BIN" ] || fail "missing $BIN — build first (cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)"
   [ -x "$BIN" ] || fail "$BIN exists but is not executable"
@@ -64,5 +64,15 @@ for NAME in table2 figure2 fullgc; do
     [ -s "$FOLDED" ] || fail "bench_$NAME produced no folded profile at $FOLDED"
   fi
 done
+
+# End-to-end serving traffic: an in-process shard pool under 1000+
+# loopback sessions with a mid-run shard kill. No profiler flags — the
+# interesting numbers are requests/sec and the serve.latency percentiles,
+# and the bench gates on recovery (restarts >= 1, every shard serving).
+OUT="$OUT_DIR/BENCH_serve_${REV}_${STAMP}.json"
+echo "=== bench_serve -> $OUT ==="
+"$BUILD_DIR/bench/bench_serve" --json-out="$OUT" --image="$IMAGE" \
+  || fail "bench_serve exited $?"
+check_json "$OUT"
 
 echo "done. results in $OUT_DIR/"

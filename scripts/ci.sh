@@ -30,6 +30,14 @@
 #                from the environment, proving torn and corrupt images are
 #                rejected with diagnostics — never a crash — and the
 #                atomic-rename protocol keeps the target loadable.
+#   serve        ThreadSanitizer build aimed at the serving layer: the
+#                functional serve suite (protocol, batching, end-to-end
+#                sessions) followed by the ServeChaos storms with the
+#                serve.shard.crash fail point armed from the environment
+#                (MST_CHAOS_SHARD_CRASH_PM), so shards keep crashing
+#                mid-batch under real loopback traffic and must restart
+#                from their last committed checkpoint while the rest of
+#                the pool keeps serving.
 #   profile      ASan+UBSan build with benches ON: bench_table2 runs with
 #                --profile, the folded flamegraph export must parse and
 #                name at least one Smalltalk selector, and a second
@@ -143,6 +151,23 @@ do_snapfuzz() {
     --output-on-failure -j "$JOBS"
 }
 
+do_serve() {
+  banner "serve: TSan, serving suite + shard crash storm"
+  configure serve RelWithDebInfo thread
+  cmake --build build-ci/serve -j "$JOBS" \
+    --target test_serve test_serve_stress
+  # Functional pass first: protocol, batching, end-to-end serving.
+  ctest --test-dir build-ci/serve -R '^Serve|^RequestBatcher' \
+    -E '^ServeChaos' --output-on-failure -j "$JOBS"
+  # Then the storms with the crash point armed from the environment on
+  # top of the tests' own seeded schedule chaos (ScopedChaos arms
+  # serve.shard.crash via armFailFromEnv).
+  MST_CHAOS_SHARD_CRASH_PM=${MST_CHAOS_SHARD_CRASH_PM:-80} \
+  MST_CHAOS_SEED="${CHAOS_SEED:-1}" \
+    ctest --test-dir build-ci/serve -R 'ServeChaos' \
+    --output-on-failure -j "$JOBS"
+}
+
 do_profile() {
   banner "profile: ASan+UBSan benches, bench_table2 --profile + overhead gate"
   cmake -B build-ci/profile -S . \
@@ -222,7 +247,7 @@ PYEOF
 
 CONFIGS=("$@")
 if [ ${#CONFIGS[@]} -eq 0 ]; then
-  CONFIGS=(release debug-chaos tsan asan smallheap snapfuzz profile)
+  CONFIGS=(release debug-chaos tsan asan smallheap snapfuzz serve profile)
 fi
 
 for C in "${CONFIGS[@]}"; do
@@ -233,10 +258,12 @@ for C in "${CONFIGS[@]}"; do
   asan) do_asan ;;
   smallheap) do_smallheap ;;
   snapfuzz) do_snapfuzz ;;
+  serve) do_serve ;;
   profile) do_profile ;;
   *)
     echo "unknown configuration: $C" \
-      "(known: release debug-chaos tsan asan smallheap snapfuzz profile)" >&2
+      "(known: release debug-chaos tsan asan smallheap snapfuzz serve" \
+      "profile)" >&2
     exit 2
     ;;
   esac

@@ -1070,3 +1070,12 @@ bool mst::loadSnapshot(VirtualMachine &VM, const std::string &Path,
     Error.pop_back();
   return false;
 }
+
+std::string mst::shardImagePath(const std::string &Dir, unsigned Shard) {
+  char Buf[16];
+  std::snprintf(Buf, sizeof Buf, "shard%03u", Shard);
+  std::string Out = Dir;
+  if (!Out.empty() && Out.back() != '/')
+    Out += '/';
+  return Out + Buf + ".image";
+}

@@ -125,6 +125,13 @@ bool loadSnapshotExact(VirtualMachine &VM, const std::string &Path,
                        std::string &Error,
                        SnapshotLoadFailure *Failure = nullptr);
 
+/// The canonical per-shard checkpoint path for the serving layer: shard
+/// \p Shard of a pool rooted at \p Dir checkpoints to
+/// `<Dir>/shard<NNN>.image` (zero-padded so a directory listing sorts).
+/// Rotated generations and the `.panic` emergency image hang off this
+/// name exactly as for any other snapshot path.
+std::string shardImagePath(const std::string &Dir, unsigned Shard);
+
 } // namespace mst
 
 #endif // MST_IMAGE_SNAPSHOT_H

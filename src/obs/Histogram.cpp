@@ -29,7 +29,8 @@ void atomicMin(std::atomic<uint64_t> &A, uint64_t V) {
 }
 } // namespace
 
-Histogram::Histogram(std::string Name) : Name(std::move(Name)) {
+Histogram::Histogram(std::string Name, std::string Unit)
+    : Name(std::move(Name)), Unit(std::move(Unit)) {
   for (auto &B : Buckets)
     B.store(0, std::memory_order_relaxed);
   if (!this->Name.empty())
@@ -54,6 +55,7 @@ Histogram &Histogram::operator=(const Histogram &Other) {
 }
 
 void Histogram::copyFrom(const Histogram &Other) {
+  Unit = Other.Unit;
   for (unsigned I = 0; I < NumBuckets; ++I)
     Buckets[I].store(Other.Buckets[I].load(std::memory_order_relaxed),
                      std::memory_order_relaxed);

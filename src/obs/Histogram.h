@@ -29,7 +29,10 @@ namespace mst {
 class Histogram {
 public:
   /// \param Name registry name; empty = private (not aggregated).
-  explicit Histogram(std::string Name = {});
+  /// \param Unit the unit samples are recorded in ("ns" for the pause
+  /// histograms; "reqs" for the serving layer's batch sizes). Purely
+  /// descriptive: it names the percentile keys in the telemetry JSON.
+  explicit Histogram(std::string Name = {}, std::string Unit = "ns");
   ~Histogram();
 
   /// Copies values only; the copy is always unregistered (a registered
@@ -76,6 +79,7 @@ public:
   void reset();
 
   const std::string &name() const { return Name; }
+  const std::string &unit() const { return Unit; }
 
   /// Number of buckets (exposed for the white-box tests).
   static constexpr unsigned SubBucketBits = 4;
@@ -95,6 +99,7 @@ private:
   std::atomic<uint64_t> MaxV{0};
   std::atomic<uint64_t> MinV{UINT64_MAX};
   std::string Name;
+  std::string Unit = "ns";
 };
 
 } // namespace mst

@@ -138,6 +138,7 @@ std::vector<Telemetry::HistogramSummary> Telemetry::histogramSummaries() {
   for (auto &[Name, H] : Merged) {
     HistogramSummary S;
     S.Name = Name;
+    S.Unit = H.unit();
     S.Count = H.count();
     S.P50 = H.percentile(50.0);
     S.P95 = H.percentile(95.0);
@@ -192,11 +193,12 @@ std::string Telemetry::toJson(const Snapshot &S) {
     First = false;
     Out += '"';
     EscapeTo(Out, H.Name);
+    const std::string &U = H.Unit;
     Out += "\":{\"count\":" + std::to_string(H.Count) +
-           ",\"p50_ns\":" + std::to_string(H.P50) +
-           ",\"p95_ns\":" + std::to_string(H.P95) +
-           ",\"p99_ns\":" + std::to_string(H.P99) +
-           ",\"max_ns\":" + std::to_string(H.Max) + "}";
+           ",\"p50_" + U + "\":" + std::to_string(H.P50) +
+           ",\"p95_" + U + "\":" + std::to_string(H.P95) +
+           ",\"p99_" + U + "\":" + std::to_string(H.P99) +
+           ",\"max_" + U + "\":" + std::to_string(H.Max) + "}";
   }
   Out += "}}";
   return Out;

@@ -116,9 +116,10 @@ private:
 class Telemetry {
 public:
   /// One histogram's summary, in the histogram's native unit (ns for the
-  /// pause-time histograms).
+  /// pause-time histograms; the serving layer records request counts).
   struct HistogramSummary {
     std::string Name;
+    std::string Unit = "ns";
     uint64_t Count = 0;
     uint64_t P50 = 0;
     uint64_t P95 = 0;

@@ -1,0 +1,103 @@
+//===-- serve/Admin.cpp - Aggregate health/telemetry report ---------------===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Admin.h"
+
+#include <map>
+
+#include "obs/Profiler.h"
+
+using namespace mst;
+using namespace mst::serve;
+
+namespace {
+void jsonStringTo(std::string &Out, const std::string &S) {
+  Out += '"';
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    if (static_cast<unsigned char>(C) < 0x20) {
+      Out += C == '\n' ? "\\n" : (C == '\r' ? "\\r" : "\\t");
+      continue;
+    }
+    Out += C;
+  }
+  Out += '"';
+}
+
+/// Per-slot-name sample counts by profiler state: which shards spend
+/// their samples running versus lock-waiting versus collecting. Reads
+/// only the sampler's accumulated tables — no oop resolution, no heap.
+std::string profilerBreakdownJson() {
+  Profiler::Data D = Profiler::data();
+  // name -> state name -> samples (slots merge by name across restarts)
+  std::map<std::string, std::map<std::string, uint64_t>> ByName;
+  for (const Profiler::VprocData &V : D.Vprocs)
+    for (const auto &[Key, Count] : V.Samples) {
+      const char *St =
+          Key.State < NumProfStates
+              ? profStateName(static_cast<ProfState>(Key.State))
+              : "?";
+      ByName[V.Name][St] += Count;
+    }
+  std::string Out = "{\"ticks\":" + std::to_string(D.Ticks) +
+                    ",\"states\":{";
+  bool FirstName = true;
+  for (const auto &[Name, States] : ByName) {
+    if (!FirstName)
+      Out += ',';
+    FirstName = false;
+    jsonStringTo(Out, Name);
+    Out += ":{";
+    bool FirstSt = true;
+    for (const auto &[St, Count] : States) {
+      if (!FirstSt)
+        Out += ',';
+      FirstSt = false;
+      jsonStringTo(Out, St);
+      Out += ':' + std::to_string(Count);
+    }
+    Out += '}';
+  }
+  Out += "}}";
+  return Out;
+}
+} // namespace
+
+std::string serve::buildHealthJson(ShardPool &Pool, ServeStats &Stats) {
+  std::string Out = "{\"shards\":[";
+  bool First = true;
+  uint64_t QueueDepth = 0;
+  for (const Shard::Health &H : Pool.health()) {
+    if (!First)
+      Out += ',';
+    First = false;
+    QueueDepth += H.QueueDepth;
+    Out += "{\"id\":" + std::to_string(H.Index) + ",\"state\":";
+    jsonStringTo(Out, H.State);
+    Out += ",\"generation\":" + std::to_string(H.Generation) +
+           ",\"restarts\":" + std::to_string(H.Restarts) +
+           ",\"requests\":" + std::to_string(H.Requests) +
+           ",\"batches\":" + std::to_string(H.Batches) +
+           ",\"checkpoints\":" + std::to_string(H.Checkpoints) +
+           ",\"queue_depth\":" + std::to_string(H.QueueDepth) +
+           ",\"last_error\":";
+    jsonStringTo(Out, H.LastError);
+    Out += '}';
+  }
+  Out += "],\"sessions\":{\"active\":" +
+         std::to_string(Stats.ActiveSessions.load()) +
+         ",\"total\":" + std::to_string(Stats.TotalSessions.load()) +
+         "},\"requests\":{\"completed\":" +
+         std::to_string(Stats.Requests.value()) +
+         ",\"errors\":" + std::to_string(Stats.Errors.value()) +
+         ",\"batches\":" + std::to_string(Stats.Batches.value()) +
+         ",\"queued\":" + std::to_string(QueueDepth) +
+         "},\"profiler\":" + profilerBreakdownJson() +
+         ",\"telemetry\":" + Telemetry::toJson(Telemetry::snapshot()) +
+         "}";
+  return Out;
+}

@@ -1,0 +1,37 @@
+//===-- serve/Admin.h - Aggregate health/telemetry report -------*- C++ -*-===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `!health` report: one JSON object aggregating the whole serving
+/// process — per-shard state (generation, restarts, requests, queue
+/// depth, checkpoints), session counts, the sampling profiler's per-shard
+/// state breakdown (running / lock-wait / gc / ipc-wait sample counts,
+/// resolvable without touching any shard's heap), and the full telemetry
+/// registry snapshot (serve.* counters, gc pause histograms, everything
+/// else). Rendered on the event-loop thread; it reads only atomics,
+/// registry aggregates, and profiler sample tables, never a VM.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MST_SERVE_ADMIN_H
+#define MST_SERVE_ADMIN_H
+
+#include <string>
+
+#include "serve/ServeStats.h"
+#include "serve/Shard.h"
+#include "serve/ShardPool.h"
+
+namespace mst {
+namespace serve {
+
+/// Renders the one-line aggregate health JSON.
+std::string buildHealthJson(ShardPool &Pool, ServeStats &Stats);
+
+} // namespace serve
+} // namespace mst
+
+#endif // MST_SERVE_ADMIN_H

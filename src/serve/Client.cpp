@@ -1,0 +1,94 @@
+//===-- serve/Client.cpp - Blocking line-protocol client ------------------===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Client.h"
+
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "serve/Protocol.h"
+
+using namespace mst;
+using namespace mst::serve;
+
+bool Client::connect(uint16_t Port) {
+  disconnect();
+  Fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return false;
+  sockaddr_in Addr{};
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(Port);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof Addr) != 0) {
+    disconnect();
+    return false;
+  }
+  int One = 1;
+  setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof One);
+  return true;
+}
+
+void Client::disconnect() {
+  if (Fd >= 0)
+    close(Fd);
+  Fd = -1;
+  In.clear();
+}
+
+bool Client::sendLine(const std::string &Line) {
+  if (Fd < 0)
+    return false;
+  std::string Out = Line + "\n";
+  size_t Off = 0;
+  while (Off < Out.size()) {
+    ssize_t N = write(Fd, Out.data() + Off, Out.size() - Off);
+    if (N > 0) {
+      Off += static_cast<size_t>(N);
+      continue;
+    }
+    if (errno == EINTR)
+      continue;
+    return false;
+  }
+  return true;
+}
+
+bool Client::recvLine(std::string &Line, double TimeoutSec) {
+  if (Fd < 0)
+    return false;
+  bool TooLong = false;
+  while (!nextLine(In, Line, ~size_t{0}, TooLong)) {
+    pollfd P{Fd, POLLIN, 0};
+    int R = poll(&P, 1, static_cast<int>(TimeoutSec * 1000));
+    if (R <= 0)
+      return false; // timeout
+    char Buf[16 * 1024];
+    ssize_t N = read(Fd, Buf, sizeof Buf);
+    if (N <= 0) {
+      if (N < 0 && errno == EINTR)
+        continue;
+      return false; // closed
+    }
+    In.append(Buf, static_cast<size_t>(N));
+  }
+  return true;
+}
+
+bool Client::eval(const std::string &Source, bool &Ok, std::string &Value,
+                  double TimeoutSec) {
+  if (!sendLine(escapeLine(Source)))
+    return false;
+  std::string Line, Tag;
+  if (!recvLine(Line, TimeoutSec))
+    return false;
+  return parseResponseLine(Line, Ok, Tag, Value);
+}

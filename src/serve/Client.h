@@ -1,0 +1,63 @@
+//===-- serve/Client.h - Blocking line-protocol client ----------*- C++ -*-===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal blocking client for the serving protocol, shared by the
+/// serve tests and bench_serve's traffic generators. One Client = one
+/// session; sendLine/recvLine speak raw protocol lines, eval() wraps a
+/// round trip. Not used by the server itself — the server side is all
+/// non-blocking.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MST_SERVE_CLIENT_H
+#define MST_SERVE_CLIENT_H
+
+#include <cstdint>
+#include <string>
+
+namespace mst {
+namespace serve {
+
+class Client {
+public:
+  Client() = default;
+  ~Client() { disconnect(); }
+
+  Client(const Client &) = delete;
+  Client &operator=(const Client &) = delete;
+  Client(Client &&O) noexcept : Fd(O.Fd), In(std::move(O.In)) { O.Fd = -1; }
+
+  /// Connects to 127.0.0.1:\p Port. \returns false on failure.
+  bool connect(uint16_t Port);
+
+  void disconnect();
+
+  bool connected() const { return Fd >= 0; }
+
+  /// Sends one raw protocol line (newline appended). Blocks until
+  /// written. \returns false on a broken connection.
+  bool sendLine(const std::string &Line);
+
+  /// Blocks until one full response line arrives (or the peer closes /
+  /// \p TimeoutSec expires). \returns false on close or timeout.
+  bool recvLine(std::string &Line, double TimeoutSec = 30.0);
+
+  /// One eval round trip: sends \p Source, waits for the response.
+  /// \returns false on transport failure; \p Ok and \p Value carry the
+  /// protocol-level result.
+  bool eval(const std::string &Source, bool &Ok, std::string &Value,
+            double TimeoutSec = 30.0);
+
+private:
+  int Fd = -1;
+  std::string In; ///< bytes received past the last returned line
+};
+
+} // namespace serve
+} // namespace mst
+
+#endif // MST_SERVE_CLIENT_H

@@ -1,0 +1,85 @@
+//===-- serve/RequestBatcher.h - Per-shard request batching -----*- C++ -*-===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-shard request queue and its batching discipline. The socket
+/// front-end pushes parsed requests here from the event loop; the shard's
+/// courier thread drains *everything queued* as one batch and carries it
+/// through the shard's IpcChannel in a single Send. Because the courier
+/// keeps exactly one batch outstanding (V's Send blocks until the shard
+/// Replies), batching is self-tuning: while the shard chews on batch N,
+/// new requests pile up here and become batch N+1 — light load degrades
+/// to batch-of-one dispatch, heavy load amortizes the channel crossing
+/// over hundreds of requests. FIFO order is preserved end to end, which
+/// is what makes per-session response ordering trivial.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MST_SERVE_REQUESTBATCHER_H
+#define MST_SERVE_REQUESTBATCHER_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/Protocol.h"
+
+namespace mst {
+namespace serve {
+
+/// One request in flight between the front-end and a shard. The courier
+/// owns the containing batch; the shard fills in the result fields and
+/// sets Done before replying.
+struct QueuedRequest {
+  uint64_t SessionId = 0;
+  uint64_t Seq = 0;      ///< per-session sequence (FIFO check support)
+  std::string Tag;       ///< protocol echo tag
+  Request::Kind Kind = Request::Kind::Eval;
+  std::string Source;
+  uint64_t EnqueueNs = 0;
+
+  // Result (written by the shard thread, read after Reply).
+  bool Done = false;
+  bool Ok = false;
+  std::string Value;
+};
+
+using Batch = std::vector<QueuedRequest>;
+
+/// MPSC queue: any thread pushes, one courier drains batches.
+class RequestBatcher {
+public:
+  /// Enqueues \p R. \returns false (dropping the request) once closed.
+  bool push(QueuedRequest R);
+
+  /// Blocks until at least one request is queued or the batcher closes,
+  /// then moves up to \p Max requests into \p Out (cleared first), oldest
+  /// first. \returns false only when closed *and* drained — the courier's
+  /// exit condition; every request pushed before close() is still
+  /// delivered.
+  bool takeBatch(Batch &Out, size_t Max);
+
+  /// Closes the queue: push() starts refusing, takeBatch() drains what
+  /// remains and then returns false. Idempotent.
+  void close();
+
+  /// \returns the current queue depth (racy; telemetry/health use only).
+  size_t depth();
+
+private:
+  std::mutex Mutex;
+  std::condition_variable Cv;
+  std::deque<QueuedRequest> Queue;
+  bool Closed = false;
+};
+
+} // namespace serve
+} // namespace mst
+
+#endif // MST_SERVE_REQUESTBATCHER_H

@@ -1,0 +1,55 @@
+//===-- serve/ServeStats.h - Serving-layer telemetry ------------*- C++ -*-===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serving layer's registry entries, gathered in one struct owned by
+/// the Server so every shard/courier increments the same instances. All
+/// of them aggregate by name through the process-wide Telemetry registry,
+/// so they appear in writeTelemetryJson, the admin health report, and the
+/// BENCH_*.json artifacts without further plumbing:
+///
+///   serve.requests          requests completed (counter)
+///   serve.errors            requests answered ERR (counter)
+///   serve.batches           batches carried through IpcChannels (counter)
+///   serve.shard.restarts    shard crash/restart cycles (counter)
+///   serve.sessions.active   open client sessions (gauge)
+///   serve.batch.size        requests per batch (histogram, unit "reqs")
+///   serve.latency           enqueue-to-completion latency (histogram, ns)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MST_SERVE_SERVESTATS_H
+#define MST_SERVE_SERVESTATS_H
+
+#include <atomic>
+#include <cstdint>
+
+#include "obs/Histogram.h"
+#include "obs/Telemetry.h"
+
+namespace mst {
+namespace serve {
+
+struct ServeStats {
+  Counter Requests{"serve.requests"};
+  Counter Errors{"serve.errors"};
+  Counter Batches{"serve.batches"};
+  Counter Restarts{"serve.shard.restarts"};
+  Histogram BatchSize{"serve.batch.size", "reqs"};
+  Histogram Latency{"serve.latency"};
+
+  std::atomic<uint64_t> ActiveSessions{0};
+  std::atomic<uint64_t> TotalSessions{0};
+  Gauge SessionsActive{"serve.sessions.active", [this] {
+                         return ActiveSessions.load(
+                             std::memory_order_relaxed);
+                       }};
+};
+
+} // namespace serve
+} // namespace mst
+
+#endif // MST_SERVE_SERVESTATS_H

@@ -1,0 +1,136 @@
+//===-- serve/Server.h - Socket front-end for the shard pool ----*- C++ -*-===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serving layer's front door: a poll()-based event loop on one
+/// thread multiplexing thousands of loopback TCP sessions onto the shard
+/// pool. The loop owns every socket and Session; shard couriers deliver
+/// completed batches through a locked queue plus a wake pipe, so the only
+/// cross-thread traffic is enqueue/drain of finished work.
+///
+///   accept -> Session (pinned to SessionId % shards)
+///   readable -> frame lines -> parse -> RequestBatcher[shard]
+///   courier reply -> response queue -> wake pipe -> session Out -> write
+///
+/// Graceful lifecycle: requestDrain() (SIGTERM, or the `!drain` admin
+/// command) stops accepting, stops reading, lets in-flight requests
+/// finish and flush, closes each session as it empties, then stops the
+/// pool — which checkpoints every shard. A drain deadline force-closes
+/// stragglers so shutdown is bounded.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MST_SERVE_SERVER_H
+#define MST_SERVE_SERVER_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "serve/Session.h"
+#include "serve/ShardPool.h"
+
+namespace mst {
+namespace serve {
+
+struct ServerConfig {
+  /// TCP port to listen on (loopback only); 0 picks an ephemeral port —
+  /// read it back with port().
+  uint16_t Port = 0;
+  PoolConfig Pool;
+  /// Longest request line accepted before the session is dropped.
+  size_t MaxLine = 64 * 1024;
+  /// Outstanding requests per session before its reads are parked.
+  size_t MaxPipeline = 1024;
+  /// Force-close deadline for a graceful drain.
+  double DrainTimeoutSec = 30.0;
+  /// How long to wait for the shard VMs to boot.
+  double ReadyTimeoutSec = 300.0;
+};
+
+class Server {
+public:
+  explicit Server(ServerConfig Config);
+  ~Server();
+
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Boots the shards, binds the listener, starts the event loop.
+  /// \returns false with \p Error set on failure.
+  bool start(std::string &Error);
+
+  /// The bound port (valid after start()).
+  uint16_t port() const { return BoundPort; }
+
+  /// Begins a graceful drain: stop accepting, finish in-flight work,
+  /// checkpoint every shard, stop. Safe from any thread; idempotent.
+  /// (Signal handlers: set a flag and call this from a normal thread.)
+  void requestDrain();
+
+  /// Blocks until the event loop has fully stopped. \returns false on
+  /// timeout.
+  bool waitStopped(double TimeoutSec);
+
+  /// requestDrain() + join. Also safe when start() failed half-way.
+  void stop();
+
+  ServeStats &stats() { return Stats; }
+  ShardPool &pool() { return *Pool; }
+
+  uint64_t activeSessions() const {
+    return Stats.ActiveSessions.load(std::memory_order_relaxed);
+  }
+
+private:
+  void loopMain();
+  void acceptReady();
+  void readSession(Session &S);
+  void parseBuffered(Session &S);
+  void handleLine(Session &S, const std::string &Line);
+  void writeSession(Session &S);
+  void closeSession(uint64_t Id);
+  void deliverResponses();
+  void wake();
+
+  ServerConfig Config;
+  ServeStats Stats;
+  std::unique_ptr<ShardPool> Pool;
+
+  int ListenFd = -1;
+  int WakeRd = -1, WakeWr = -1;
+  uint16_t BoundPort = 0;
+
+  std::thread LoopThread;
+
+  // Event-loop-owned.
+  std::unordered_map<uint64_t, Session> Sessions; // by session id
+  std::unordered_map<int, uint64_t> FdToSession;
+  uint64_t NextSessionId = 0;
+  bool Draining = false;
+  uint64_t DrainDeadlineNs = 0;
+
+  // Cross-thread: courier-completed batches + drain request.
+  std::mutex RespMutex;
+  std::deque<Batch> Responses; // guarded by RespMutex
+  std::atomic<bool> DrainRequested{false};
+
+  std::mutex StopMutex;
+  std::condition_variable StopCv;
+  bool Started = false; // loop thread launched (guarded by StopMutex)
+  bool Stopped = false; // loop thread finished (guarded by StopMutex)
+};
+
+} // namespace serve
+} // namespace mst
+
+#endif // MST_SERVE_SERVER_H

@@ -1,0 +1,309 @@
+//===-- serve/Shard.cpp - One VM image serving requests -------------------===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Shard.h"
+
+#include <unistd.h>
+
+#include "image/Bootstrap.h"
+#include "image/Checkpoint.h"
+#include "image/Snapshot.h"
+#include "objmem/Safepoint.h"
+#include "obs/Profiler.h"
+#include "vkernel/Chaos.h"
+
+using namespace mst;
+using namespace mst::serve;
+
+namespace {
+bool fileExists(const std::string &Path) {
+  return !Path.empty() && ::access(Path.c_str(), F_OK) == 0;
+}
+} // namespace
+
+Shard::Shard(ShardConfig Config, ResponseSink Sink, ServeStats &Stats)
+    : Config(std::move(Config)), Sink(std::move(Sink)), Stats(Stats) {}
+
+Shard::~Shard() { stop(); }
+
+void Shard::start() {
+  ShardThread = std::thread([this] { shardMain(); });
+  CourierThread = std::thread([this] { courierMain(); });
+}
+
+bool Shard::waitReady(double TimeoutSec) {
+  std::unique_lock<std::mutex> Lock(ReadyMutex);
+  if (!ReadyCv.wait_for(Lock,
+                        std::chrono::duration<double>(TimeoutSec),
+                        [this] { return BootDone; }))
+    return false;
+  std::lock_guard<std::mutex> G(StateMutex);
+  return State == "serving";
+}
+
+bool Shard::submit(QueuedRequest R) {
+  if (Stopping.load(std::memory_order_relaxed))
+    return false;
+  return Batcher.push(std::move(R));
+}
+
+void Shard::stop() {
+  if (Stopping.exchange(true)) {
+    // A racing second stop still has to wait for the joins below, which
+    // only the first caller performs; Shard is stopped exactly once by
+    // the Server, so just fall through when the threads are gone.
+  }
+  Batcher.close();
+  if (CourierThread.joinable())
+    CourierThread.join();
+  Channel.shutdown();
+  if (ShardThread.joinable())
+    ShardThread.join();
+}
+
+Shard::Health Shard::health() {
+  Health H;
+  H.Index = Config.Index;
+  H.Generation = Generation.load(std::memory_order_relaxed);
+  H.Restarts = RestartCount.load(std::memory_order_relaxed);
+  H.Requests = RequestCount.load(std::memory_order_relaxed);
+  H.Batches = BatchCount.load(std::memory_order_relaxed);
+  H.Checkpoints = CheckpointCount.load(std::memory_order_relaxed);
+  H.QueueDepth = Batcher.depth();
+  std::lock_guard<std::mutex> G(StateMutex);
+  H.State = State;
+  H.LastError = LastError;
+  return H;
+}
+
+void Shard::setState(const char *S) {
+  std::lock_guard<std::mutex> G(StateMutex);
+  State = S;
+}
+
+void Shard::noteError(const std::string &E) {
+  std::lock_guard<std::mutex> G(StateMutex);
+  LastError = E;
+}
+
+/// Boots (or re-boots) this shard's VM on the shard thread, walking the
+/// recovery ladder: own committed checkpoint -> pool base image -> cold
+/// bootstrap. A candidate that fails to load may have mutated the VM
+/// (materialization failures), so each rung starts from a freshly
+/// constructed VirtualMachine.
+void Shard::bootVm() {
+  auto Fresh = [this] {
+    Ck.reset();
+    VM.reset();
+    VM = std::make_unique<VirtualMachine>(Config.Vm);
+  };
+  Fresh();
+  bool Booted = false;
+  if (fileExists(Config.CheckpointPath)) {
+    std::string Err;
+    if (loadSnapshot(*VM, Config.CheckpointPath, Err)) {
+      Booted = true;
+    } else {
+      noteError("shard checkpoint load failed: " + Err);
+      Fresh();
+    }
+  }
+  if (!Booted && !Config.BaseImage.empty()) {
+    std::string Err;
+    if (loadSnapshot(*VM, Config.BaseImage, Err)) {
+      Booted = true;
+    } else {
+      noteError("base image load failed: " + Err);
+      Fresh();
+    }
+  }
+  if (!Booted)
+    bootstrapImage(*VM);
+
+  // The shard's Smalltalk-visible identity; sessions read it back to
+  // verify pinning ((Smalltalk at: #ShardId) is stable per session).
+  VM->evaluate("Smalltalk at: #ShardId put: " +
+               std::to_string(Config.Index));
+
+  // Rename this thread's profiler slot so state breakdowns attribute
+  // samples per shard rather than to one merged "driver".
+  Profiler::registerThread("shard" + std::to_string(Config.Index),
+                           static_cast<int>(Config.Vm.Interpreters));
+
+  if (!Config.CheckpointPath.empty()) {
+    Checkpointer::Options O;
+    O.Path = Config.CheckpointPath;
+    O.EveryMs = Config.CheckpointEveryMs;
+    O.KeepGenerations = Config.KeepGenerations;
+    Ck = std::make_unique<Checkpointer>(*VM, O);
+  }
+  Generation.fetch_add(1, std::memory_order_relaxed);
+  setState("serving");
+}
+
+void Shard::restartVm(const char *Why) {
+  setState("restarting");
+  noteError(std::string("shard crashed (") + Why +
+            "); restarting from last committed snapshot");
+  if (Ck)
+    CkTakenBase += Ck->checkpointsTaken();
+  RestartCount.fetch_add(1, std::memory_order_relaxed);
+  Stats.Restarts.add();
+  bootVm();
+}
+
+void Shard::teardownVm() {
+  if (Ck)
+    CkTakenBase += Ck->checkpointsTaken();
+  Ck.reset();
+  if (VM)
+    VM->shutdown();
+  VM.reset();
+}
+
+void Shard::processBatch(Batch &B) {
+  for (size_t I = 0; I < B.size(); ++I) {
+    QueuedRequest &Q = B[I];
+    if (Q.Kind == Request::Kind::Kill) {
+      Q.Done = true;
+      Q.Ok = true;
+      Q.Value = "shard " + std::to_string(Config.Index) +
+                " killed; restarting from last committed checkpoint";
+      failFrom(B, I + 1);
+      restartVm("admin kill");
+      return;
+    }
+    if (chaos::failPoint("serve.shard.crash")) {
+      // The injected crash takes the in-flight request down with it —
+      // exactly what a segfaulting shard would do to its batch.
+      failFrom(B, I);
+      restartVm("chaos fail point");
+      return;
+    }
+    switch (Q.Kind) {
+    case Request::Kind::Eval: {
+      VirtualMachine::EvalResult R = VM->evaluate(Q.Source);
+      Q.Done = true;
+      Q.Ok = R.Ok;
+      Q.Value = std::move(R.Value);
+      Stats.Requests.add();
+      if (!Q.Ok)
+        Stats.Errors.add();
+      RequestCount.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+    case Request::Kind::Checkpoint: {
+      Q.Done = true;
+      if (!Ck) {
+        Q.Ok = false;
+        Q.Value = "shard " + std::to_string(Config.Index) +
+                  ": checkpointing disabled";
+      } else {
+        std::string Err;
+        Q.Ok = Ck->checkpointNow(Err);
+        if (Q.Ok) {
+          Q.Value = "shard " + std::to_string(Config.Index) +
+                    " checkpointed to " + Config.CheckpointPath;
+        } else {
+          Q.Value = "shard " + std::to_string(Config.Index) +
+                    " checkpoint failed: " + Err;
+          noteError(Q.Value);
+        }
+      }
+      break;
+    }
+    default:
+      // Front-end-only kinds (Health/Drain/Quit/Bad) never reach a shard.
+      Q.Done = true;
+      Q.Ok = false;
+      Q.Value = "request kind not servable by a shard";
+      break;
+    }
+    chaos::point("serve.shard.request");
+  }
+  if (Ck)
+    CheckpointCount.store(CkTakenBase + Ck->checkpointsTaken(),
+                          std::memory_order_relaxed);
+}
+
+void Shard::failFrom(Batch &B, size_t First) {
+  for (size_t I = First; I < B.size(); ++I) {
+    QueuedRequest &Q = B[I];
+    Q.Done = true;
+    Q.Ok = false;
+    Q.Value = "shard " + std::to_string(Config.Index) +
+              " crashed; request not executed (shard restarted from its "
+              "last committed checkpoint)";
+    Stats.Errors.add();
+  }
+}
+
+void Shard::shardMain() {
+  bootVm();
+  {
+    std::lock_guard<std::mutex> G(ReadyMutex);
+    BootDone = true;
+  }
+  ReadyCv.notify_all();
+
+  for (;;) {
+    uint64_t Bits = 0;
+    IpcChannel::MessageHandle H;
+    {
+      // Parked between batches counts as safe: the periodic checkpointer
+      // (or any service thread) can stop this shard's world meanwhile.
+      BlockedRegion Blocked(VM->memory().safepoint());
+      H = Channel.receive(Bits);
+    }
+    if (!H)
+      break; // channel shut down: graceful exit
+    Batch *B = reinterpret_cast<Batch *>(static_cast<uintptr_t>(Bits));
+    processBatch(*B);
+    BatchCount.fetch_add(1, std::memory_order_relaxed);
+    Channel.reply(H, B->size());
+  }
+
+  // Graceful lifecycle: SIGTERM/stop() checkpoints every shard before
+  // the pool goes down.
+  if (Ck) {
+    std::string Err;
+    if (Ck->checkpointNow(Err)) {
+      CheckpointCount.store(CkTakenBase + Ck->checkpointsTaken(),
+                            std::memory_order_relaxed);
+    } else {
+      noteError("final checkpoint failed: " + Err);
+    }
+  }
+  teardownVm();
+  setState("stopped");
+}
+
+void Shard::courierMain() {
+  for (;;) {
+    auto B = std::make_unique<Batch>();
+    if (!Batcher.takeBatch(*B, Config.MaxBatch))
+      break; // closed and drained
+    Stats.Batches.add();
+    Stats.BatchSize.record(B->size());
+    chaos::point("serve.courier.send");
+    (void)Channel.send(static_cast<uint64_t>(
+        reinterpret_cast<uintptr_t>(B.get())));
+    // The shard filled results in place (or the channel shut down under
+    // us and nobody did — mark those, don't drop them).
+    uint64_t Now = Telemetry::nowNs();
+    for (QueuedRequest &Q : *B) {
+      if (!Q.Done) {
+        Q.Done = true;
+        Q.Ok = false;
+        Q.Value = "shard " + std::to_string(Config.Index) +
+                  " unavailable (shutting down)";
+        Stats.Errors.add();
+      }
+      Stats.Latency.record(Now - Q.EnqueueNs);
+    }
+    Sink(std::move(*B));
+  }
+}

@@ -1,0 +1,173 @@
+//===-- serve/Shard.h - One VM image serving requests -----------*- C++ -*-===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One shard = one independent VirtualMachine image plus the two threads
+/// that feed it:
+///
+///   courier thread: RequestBatcher::takeBatch -> IpcChannel::send(batch)
+///                   -> deliver responses to the front-end sink
+///   shard thread:   constructs/boots the VM (it must own its VM: a
+///                   VirtualMachine is built, driven, and destroyed on
+///                   its constructing thread), then loops
+///                   receive -> evaluate each request -> reply
+///
+/// The IpcChannel crossing is the paper's V Send/Receive/Reply used as a
+/// work conduit: the courier keeps one batch outstanding, so the shard
+/// processes batches strictly in order while the next batch accumulates.
+///
+/// Recovery ladder (the serving layer's whole point of reusing the PR 5
+/// snapshot machinery): a shard boots from its own last committed
+/// checkpoint (`<dir>/shardNNN.image`, with rotated-generation fallback),
+/// else from the pool's prewarmed base image, else from a cold bootstrap.
+/// A *crash* — the `serve.shard.crash` chaos fail point or an admin
+/// `!kill` — tears down the VM on the shard thread and walks the same
+/// ladder again; requests already queued behind the crash are answered
+/// ERR rather than silently dropped, the channel and batcher survive, and
+/// every other shard keeps serving. A real panic() still aborts the
+/// process (shards share one address space by design — the paper's
+/// shared-memory image, multiplied); the chaos kill models the crash the
+/// way the snapshot fuzz lane models torn writes.
+///
+/// While blocked in receive() the shard thread sits in a safepoint
+/// BlockedRegion, so its periodic Checkpointer can stop that VM's world
+/// between batches.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MST_SERVE_SHARD_H
+#define MST_SERVE_SHARD_H
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "serve/RequestBatcher.h"
+#include "serve/ServeStats.h"
+#include "vkernel/IpcChannel.h"
+#include "vm/VirtualMachine.h"
+
+namespace mst {
+
+class Checkpointer;
+
+namespace serve {
+
+struct ShardConfig {
+  unsigned Index = 0;
+  /// Prewarmed base image to boot from; empty = cold bootstrap.
+  std::string BaseImage;
+  /// This shard's checkpoint target; empty disables checkpointing (the
+  /// shard then restarts from BaseImage / bootstrap).
+  std::string CheckpointPath;
+  /// Rotated generations kept per checkpoint.
+  unsigned KeepGenerations = 2;
+  /// Periodic auto-checkpoint interval; 0 = only explicit checkpoints.
+  uint64_t CheckpointEveryMs = 0;
+  /// Largest batch one IpcChannel send may carry.
+  size_t MaxBatch = 256;
+  VmConfig Vm = VmConfig::multiprocessor(1);
+};
+
+class Shard {
+public:
+  /// Called by the courier with a completed batch (every request Done or
+  /// marked failed). Runs on the courier thread; must not block long.
+  using ResponseSink = std::function<void(Batch &&)>;
+
+  Shard(ShardConfig Config, ResponseSink Sink, ServeStats &Stats);
+
+  /// stop() must have run (the Server guarantees it).
+  ~Shard();
+
+  Shard(const Shard &) = delete;
+  Shard &operator=(const Shard &) = delete;
+
+  /// Spawns the shard and courier threads; the shard thread boots the VM.
+  void start();
+
+  /// Blocks until the first boot finished (or failed terminally).
+  /// \returns true when the shard is serving.
+  bool waitReady(double TimeoutSec);
+
+  /// Enqueues \p R for this shard. \returns false once stopping (the
+  /// caller answers the session with an error).
+  bool submit(QueuedRequest R);
+
+  /// Graceful stop: drains the batcher (queued requests still complete),
+  /// retires the courier, shuts the channel down — the shard thread takes
+  /// a final checkpoint and destroys its VM — and joins both threads.
+  void stop();
+
+  /// Point-in-time health, readable from any thread.
+  struct Health {
+    unsigned Index = 0;
+    std::string State;       ///< "booting" | "serving" | "restarting" | "stopped"
+    uint64_t Generation = 0; ///< boots completed (1 = first boot)
+    uint64_t Restarts = 0;   ///< crash/restart cycles
+    uint64_t Requests = 0;   ///< requests this shard completed
+    uint64_t Batches = 0;    ///< batches this shard replied to
+    uint64_t Checkpoints = 0;
+    size_t QueueDepth = 0;   ///< requests waiting in the batcher
+    std::string LastError;   ///< last boot/checkpoint failure, or empty
+  };
+  Health health();
+
+  unsigned index() const { return Config.Index; }
+
+private:
+  void shardMain();
+  void courierMain();
+  void bootVm();
+  void restartVm(const char *Why);
+  void teardownVm();
+  void processBatch(Batch &B);
+  void failFrom(Batch &B, size_t First);
+  void setState(const char *S);
+  void noteError(const std::string &E);
+
+  ShardConfig Config;
+  ResponseSink Sink;
+  ServeStats &Stats;
+
+  RequestBatcher Batcher;
+  IpcChannel Channel;
+  std::thread ShardThread;
+  std::thread CourierThread;
+
+  // Shard-thread-owned; other threads only observe the atomics below.
+  std::unique_ptr<VirtualMachine> VM;
+  std::unique_ptr<Checkpointer> Ck;
+
+  std::mutex ReadyMutex;
+  std::condition_variable ReadyCv;
+  bool BootDone = false; // guarded by ReadyMutex
+
+  std::atomic<bool> Stopping{false};
+  std::atomic<uint64_t> Generation{0};
+  std::atomic<uint64_t> RestartCount{0};
+  std::atomic<uint64_t> RequestCount{0};
+  std::atomic<uint64_t> BatchCount{0};
+  std::atomic<uint64_t> CheckpointCount{0};
+  /// Checkpoints taken by Checkpointers of earlier generations (each
+  /// restart builds a fresh one). Shard thread only.
+  uint64_t CkTakenBase = 0;
+
+  std::mutex StateMutex;
+  std::string State = "booting";   // guarded by StateMutex
+  std::string LastError;           // guarded by StateMutex
+};
+
+} // namespace serve
+} // namespace mst
+
+#endif // MST_SERVE_SHARD_H

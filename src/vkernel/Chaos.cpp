@@ -255,7 +255,8 @@ bool chaos::armFailFromEnv(uint64_t Seed) {
              {"MST_CHAOS_STALL_PM", "watchdog.stall"},
              {"MST_CHAOS_IO_WRITE_FAIL_PM", "io.write.fail"},
              {"MST_CHAOS_IO_FSYNC_FAIL_PM", "io.fsync.fail"},
-             {"MST_CHAOS_SNAPSHOT_TRUNCATE_PM", "snapshot.truncate"}};
+             {"MST_CHAOS_SNAPSHOT_TRUNCATE_PM", "snapshot.truncate"},
+             {"MST_CHAOS_SHARD_CRASH_PM", "serve.shard.crash"}};
   bool Any = false;
   for (auto &M : Map) {
     const char *S = std::getenv(M.Env);

@@ -148,11 +148,12 @@ uint64_t failCount(const char *Point);
 
 /// Reads MST_CHAOS_ALLOC_FAIL_PM / MST_CHAOS_GROW_FAIL_PM /
 /// MST_CHAOS_STALL_PM / MST_CHAOS_IO_WRITE_FAIL_PM /
-/// MST_CHAOS_IO_FSYNC_FAIL_PM / MST_CHAOS_SNAPSHOT_TRUNCATE_PM and arms
-/// the corresponding fail points ("alloc.fail", "oldspace.grow.fail",
-/// "watchdog.stall", "io.write.fail", "io.fsync.fail",
-/// "snapshot.truncate") with \p Seed. The CI small-heap and snapfuzz
-/// lanes use this to push fault injection into every stress binary
+/// MST_CHAOS_IO_FSYNC_FAIL_PM / MST_CHAOS_SNAPSHOT_TRUNCATE_PM /
+/// MST_CHAOS_SHARD_CRASH_PM and arms the corresponding fail points
+/// ("alloc.fail", "oldspace.grow.fail", "watchdog.stall",
+/// "io.write.fail", "io.fsync.fail", "snapshot.truncate",
+/// "serve.shard.crash") with \p Seed. The CI small-heap, snapfuzz, and
+/// serve lanes use this to push fault injection into every stress binary
 /// without per-test plumbing.
 /// \returns true when at least one point was armed.
 bool armFailFromEnv(uint64_t Seed);

@@ -185,6 +185,39 @@ Oop VirtualMachine::compileAndRun(const std::string &Source) {
   return Driver->runToCompletion(Ctx);
 }
 
+VirtualMachine::EvalResult
+VirtualMachine::evaluate(const std::string &Source) {
+  if (Source.empty())
+    return {false, "empty source"};
+  std::string Src = Source;
+  if (Src[0] != '^' && Src[0] != '|')
+    Src = "^(" + Src + ") printString";
+  size_t Mark;
+  {
+    std::lock_guard<std::mutex> Guard(ErrorMutex);
+    Mark = ErrorLog.size();
+  }
+  Oop R = compileAndRun(Src);
+  if (R.isNull()) {
+    // Collect (and drop) the diagnostics this evaluation appended. Only
+    // the driver thread runs evaluate, so entries past Mark are ours —
+    // a worker interpreter could interleave one of its own, which we
+    // would then attribute here; harmless for a diagnostics string.
+    std::lock_guard<std::mutex> Guard(ErrorMutex);
+    std::string Msg;
+    for (size_t I = Mark; I < ErrorLog.size(); ++I) {
+      if (!Msg.empty())
+        Msg += "; ";
+      Msg += ErrorLog[I];
+    }
+    ErrorLog.resize(Mark);
+    return {false, Msg.empty() ? "evaluation failed" : Msg};
+  }
+  if (R.isPointer() && R.object()->Format == ObjectFormat::Bytes)
+    return {true, ObjectModel::stringValue(R)};
+  return {true, Om->describe(R)};
+}
+
 Oop VirtualMachine::forkDoIt(const std::string &Source, int Priority,
                              const std::string &Name) {
   CompileResult R = compileDoItSource(

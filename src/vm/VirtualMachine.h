@@ -114,6 +114,26 @@ public:
   /// (driver) thread. \returns the result, or null oop on error.
   Oop compileAndRun(const std::string &Source);
 
+  /// One evaluated request/response exchange (VirtualMachine::evaluate).
+  struct EvalResult {
+    bool Ok = false;
+    /// The result's printString (strings render verbatim, everything else
+    /// via ObjectModel::describe) on success; the compile/runtime
+    /// diagnostics on failure.
+    std::string Value;
+  };
+
+  /// The serving layer's reentrant front door: evaluates \p Source as an
+  /// expression on the calling (driver) thread and renders the answer.
+  /// Sources not starting with `^` or `|` are wrapped as
+  /// `^(...) printString`, REPL-style. Unlike compileAndRun, failures are
+  /// *consumed*: the error-log entries this evaluation produced are
+  /// returned in EvalResult::Value and removed from the log, so a shard
+  /// serving millions of requests neither leaks error state nor
+  /// interleaves one session's diagnostics into another's. Callable any
+  /// number of times; each call is independent.
+  EvalResult evaluate(const std::string &Source);
+
   /// Compiles \p Source as a doIt and forks it as a Smalltalk Process at
   /// \p Priority. \returns the Process oop (already scheduled).
   Oop forkDoIt(const std::string &Source, int Priority,

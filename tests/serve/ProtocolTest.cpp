@@ -1,0 +1,109 @@
+//===-- tests/serve/ProtocolTest.cpp - Wire protocol unit tests -----------===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Protocol.h"
+
+#include <gtest/gtest.h>
+
+using namespace mst;
+using namespace mst::serve;
+
+TEST(ServeProtocol, EscapeRoundTrip) {
+  std::string S = "a\nb\\c\rd";
+  std::string E = escapeLine(S);
+  EXPECT_EQ(E.find('\n'), std::string::npos);
+  EXPECT_EQ(E.find('\r'), std::string::npos);
+  EXPECT_EQ(unescapeLine(E), S);
+  EXPECT_EQ(escapeLine(""), "");
+  EXPECT_EQ(unescapeLine("plain"), "plain");
+}
+
+TEST(ServeProtocol, ParseEval) {
+  Request R = parseRequestLine("3 + 4 * 2");
+  EXPECT_EQ(R.K, Request::Kind::Eval);
+  EXPECT_EQ(R.Source, "3 + 4 * 2");
+  EXPECT_TRUE(R.Tag.empty());
+}
+
+TEST(ServeProtocol, ParseTaggedEval) {
+  Request R = parseRequestLine("@t42 1 + 1");
+  EXPECT_EQ(R.K, Request::Kind::Eval);
+  EXPECT_EQ(R.Tag, "@t42"); // tags keep their sigil for the echo
+  EXPECT_EQ(R.Source, "1 + 1");
+}
+
+TEST(ServeProtocol, ParseEscapedEvalSource) {
+  // A multi-line doIt travels escaped and parses back to real newlines.
+  Request R = parseRequestLine("| x |\\n x := 3.\\n ^x");
+  EXPECT_EQ(R.K, Request::Kind::Eval);
+  EXPECT_NE(R.Source.find('\n'), std::string::npos);
+}
+
+TEST(ServeProtocol, ParseAdmin) {
+  EXPECT_EQ(parseRequestLine("!health").K, Request::Kind::Health);
+  EXPECT_EQ(parseRequestLine("!checkpoint").K, Request::Kind::Checkpoint);
+  EXPECT_EQ(parseRequestLine("!drain").K, Request::Kind::Drain);
+  EXPECT_EQ(parseRequestLine("!quit").K, Request::Kind::Quit);
+  Request K = parseRequestLine("!kill 3");
+  EXPECT_EQ(K.K, Request::Kind::Kill);
+  EXPECT_EQ(K.KillShard, 3u);
+  Request T = parseRequestLine("@k !kill 0");
+  EXPECT_EQ(T.K, Request::Kind::Kill);
+  EXPECT_EQ(T.Tag, "@k");
+}
+
+TEST(ServeProtocol, ParseBad) {
+  EXPECT_EQ(parseRequestLine("!kill").K, Request::Kind::Bad);
+  EXPECT_EQ(parseRequestLine("!kill x").K, Request::Kind::Bad);
+  EXPECT_EQ(parseRequestLine("!nosuch").K, Request::Kind::Bad);
+  EXPECT_EQ(parseRequestLine("@tagonly").K, Request::Kind::Bad);
+  EXPECT_FALSE(parseRequestLine("!nosuch").Error.empty());
+}
+
+TEST(ServeProtocol, ResponseRoundTrip) {
+  bool Ok = false;
+  std::string Tag, Value;
+  ASSERT_TRUE(parseResponseLine("OK @t7 14", Ok, Tag, Value));
+  EXPECT_TRUE(Ok);
+  EXPECT_EQ(Tag, "@t7");
+  EXPECT_EQ(Value, "14");
+
+  std::string Line = formatResponse(false, "@x", "boom\nbang");
+  EXPECT_EQ(Line.back(), '\n');
+  Line.pop_back();
+  ASSERT_TRUE(parseResponseLine(Line, Ok, Tag, Value));
+  EXPECT_FALSE(Ok);
+  EXPECT_EQ(Tag, "@x");
+  EXPECT_EQ(Value, "boom\nbang");
+
+  EXPECT_FALSE(parseResponseLine("NOPE", Ok, Tag, Value));
+  EXPECT_FALSE(parseResponseLine("", Ok, Tag, Value));
+}
+
+TEST(ServeProtocol, NextLineFraming) {
+  std::string Buf = "one\r\ntwo\nthr";
+  std::string Line;
+  bool TooLong = false;
+  ASSERT_TRUE(nextLine(Buf, Line, 1024, TooLong));
+  EXPECT_EQ(Line, "one"); // \r stripped
+  ASSERT_TRUE(nextLine(Buf, Line, 1024, TooLong));
+  EXPECT_EQ(Line, "two");
+  EXPECT_FALSE(nextLine(Buf, Line, 1024, TooLong));
+  EXPECT_FALSE(TooLong);
+  EXPECT_EQ(Buf, "thr"); // partial tail kept
+
+  Buf += "ee\n";
+  ASSERT_TRUE(nextLine(Buf, Line, 1024, TooLong));
+  EXPECT_EQ(Line, "three");
+}
+
+TEST(ServeProtocol, NextLineTooLong) {
+  std::string Buf(100, 'x'); // unterminated, past the cap
+  std::string Line;
+  bool TooLong = false;
+  EXPECT_FALSE(nextLine(Buf, Line, 10, TooLong));
+  EXPECT_TRUE(TooLong);
+}

@@ -1,0 +1,269 @@
+//===-- tests/serve/ServeTest.cpp - End-to-end serving tests --------------===//
+//
+// Part of the Multiprocessor Smalltalk reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// End-to-end tests for the serving layer: a real Server (2 shards booted
+/// from a shared base snapshot) serving real loopback TCP clients. Covers
+/// the request/response protocol, shard pinning + state isolation, FIFO
+/// pipelining, the admin surface, and crash/checkpoint recovery.
+///
+//===----------------------------------------------------------------------===//
+
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "image/Snapshot.h"
+#include "serve/Admin.h"
+#include "serve/Client.h"
+#include "serve/Server.h"
+#include "serve/ServeTestUtil.h"
+
+using namespace mst;
+using namespace mst::serve;
+using namespace mst::serve_test;
+
+namespace {
+
+class ServeTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    DataDir = makeTempDir();
+    S = std::make_unique<Server>(testServerConfig(2, DataDir));
+    std::string Error;
+    ASSERT_TRUE(S->start(Error)) << Error;
+  }
+
+  void TearDown() override {
+    if (S)
+      S->stop();
+  }
+
+  Client connect() {
+    Client C;
+    EXPECT_TRUE(C.connect(S->port()));
+    return C;
+  }
+
+  std::string DataDir;
+  std::unique_ptr<Server> S;
+};
+
+TEST_F(ServeTest, EvalRoundTrip) {
+  Client C = connect();
+  bool Ok = false;
+  std::string Value;
+  ASSERT_TRUE(C.eval("3 + 4 * 2", Ok, Value));
+  EXPECT_TRUE(Ok) << Value;
+  EXPECT_EQ(Value, "14");
+}
+
+TEST_F(ServeTest, EvalErrorIsReported) {
+  Client C = connect();
+  bool Ok = true;
+  std::string Value;
+  ASSERT_TRUE(C.eval("this is ))) not smalltalk", Ok, Value));
+  EXPECT_FALSE(Ok);
+  EXPECT_FALSE(Value.empty());
+
+  // The session survives an error and keeps serving.
+  ASSERT_TRUE(C.eval("1 + 1", Ok, Value));
+  EXPECT_TRUE(Ok);
+  EXPECT_EQ(Value, "2");
+}
+
+TEST_F(ServeTest, TagsEchoOnResponses) {
+  Client C = connect();
+  ASSERT_TRUE(C.sendLine("@first 10 * 10"));
+  std::string Line, Tag, Value;
+  bool Ok = false;
+  ASSERT_TRUE(C.recvLine(Line));
+  ASSERT_TRUE(parseResponseLine(Line, Ok, Tag, Value));
+  EXPECT_TRUE(Ok);
+  EXPECT_EQ(Tag, "@first");
+  EXPECT_EQ(Value, "100");
+}
+
+TEST_F(ServeTest, SessionsPinToDistinctShardsAndImagesAreIsolated) {
+  // Session ids are sequential, so with 2 shards consecutive sessions
+  // land on different shards.
+  Client A = connect();
+  Client B = connect();
+  bool Ok = false;
+  std::string ShardA, ShardB, Value;
+  ASSERT_TRUE(A.eval("Smalltalk at: #ShardId", Ok, ShardA));
+  ASSERT_TRUE(Ok);
+  ASSERT_TRUE(B.eval("Smalltalk at: #ShardId", Ok, ShardB));
+  ASSERT_TRUE(Ok);
+  EXPECT_NE(ShardA, ShardB);
+
+  // A's global mutation is invisible in B's image...
+  ASSERT_TRUE(A.eval("Smalltalk at: #Pin put: 777", Ok, Value));
+  ASSERT_TRUE(Ok);
+  ASSERT_TRUE(B.eval("Smalltalk includesKey: #Pin", Ok, Value));
+  ASSERT_TRUE(Ok);
+  EXPECT_EQ(Value, "false");
+
+  // ...but persists across A's own requests (same pinned image).
+  ASSERT_TRUE(A.eval("Smalltalk at: #Pin", Ok, Value));
+  ASSERT_TRUE(Ok);
+  EXPECT_EQ(Value, "777");
+}
+
+TEST_F(ServeTest, PipelinedRequestsAnswerInOrder) {
+  Client C = connect();
+  const int N = 20;
+  for (int I = 0; I < N; ++I)
+    ASSERT_TRUE(C.sendLine("@r" + std::to_string(I) + " " +
+                           std::to_string(I) + " + 1"));
+  for (int I = 0; I < N; ++I) {
+    std::string Line, Tag, Value;
+    bool Ok = false;
+    ASSERT_TRUE(C.recvLine(Line));
+    ASSERT_TRUE(parseResponseLine(Line, Ok, Tag, Value));
+    EXPECT_TRUE(Ok);
+    EXPECT_EQ(Tag, "@r" + std::to_string(I)); // strict FIFO
+    EXPECT_EQ(Value, std::to_string(I + 1));
+  }
+}
+
+TEST_F(ServeTest, MultiLineSourceAndResult) {
+  Client C = connect();
+  bool Ok = false;
+  std::string Value;
+  ASSERT_TRUE(C.eval("| x |\nx := 5.\n^(x * x) printString", Ok, Value));
+  EXPECT_TRUE(Ok) << Value;
+  EXPECT_EQ(Value, "25");
+}
+
+TEST_F(ServeTest, HealthReportsEveryShardServing) {
+  Client C = connect();
+  bool Ok = false;
+  std::string Json;
+  ASSERT_TRUE(C.eval("!health", Ok, Json));
+  ASSERT_TRUE(Ok);
+  EXPECT_NE(Json.find("\"shards\":[{\"id\":0"), std::string::npos);
+  EXPECT_NE(Json.find("\"id\":1"), std::string::npos);
+  EXPECT_NE(Json.find("\"state\":\"serving\""), std::string::npos);
+  EXPECT_NE(Json.find("\"serve.requests\""), std::string::npos);
+  EXPECT_NE(Json.find("\"serve.sessions.active\""), std::string::npos);
+  EXPECT_NE(Json.find("\"serve.batch.size\""), std::string::npos);
+  EXPECT_NE(Json.find("\"serve.latency\""), std::string::npos);
+}
+
+TEST_F(ServeTest, CheckpointWritesEveryShardImage) {
+  Client C = connect();
+  ASSERT_TRUE(C.sendLine("!checkpoint"));
+  for (int I = 0; I < 2; ++I) { // one response per shard
+    std::string Line, Tag, Value;
+    bool Ok = false;
+    ASSERT_TRUE(C.recvLine(Line, 120.0));
+    ASSERT_TRUE(parseResponseLine(Line, Ok, Tag, Value));
+    EXPECT_TRUE(Ok) << Value;
+  }
+  EXPECT_EQ(access(shardImagePath(DataDir, 0).c_str(), F_OK), 0);
+  EXPECT_EQ(access(shardImagePath(DataDir, 1).c_str(), F_OK), 0);
+}
+
+TEST_F(ServeTest, KillRestartsShardFromLastCommittedCheckpoint) {
+  Client C = connect(); // session 0 -> shard 0
+  bool Ok = false;
+  std::string Value;
+  ASSERT_TRUE(C.eval("Smalltalk at: #K put: 42", Ok, Value));
+  ASSERT_TRUE(Ok);
+
+  // Commit #K=42, then mutate past the checkpoint.
+  ASSERT_TRUE(C.sendLine("!checkpoint"));
+  for (int I = 0; I < 2; ++I) {
+    std::string Line;
+    ASSERT_TRUE(C.recvLine(Line, 120.0));
+  }
+  ASSERT_TRUE(C.eval("Smalltalk at: #K put: 99", Ok, Value));
+  ASSERT_TRUE(Ok);
+
+  // Crash this session's own shard. FIFO on the shard queue makes the
+  // post-kill eval deterministic: it runs on the rebooted image.
+  ASSERT_TRUE(C.eval("!kill 0", Ok, Value, 120.0));
+  EXPECT_TRUE(Ok) << Value;
+  ASSERT_TRUE(C.eval("Smalltalk at: #K", Ok, Value, 120.0));
+  ASSERT_TRUE(Ok) << Value;
+  EXPECT_EQ(Value, "42"); // the uncheckpointed 99 rolled back
+
+  // Health shows the crash/recovery.
+  std::string Json;
+  ASSERT_TRUE(C.eval("!health", Ok, Json));
+  ASSERT_TRUE(Ok);
+  EXPECT_NE(Json.find("\"restarts\":1"), std::string::npos);
+  EXPECT_NE(Json.find("\"state\":\"serving\""), std::string::npos);
+}
+
+TEST_F(ServeTest, OtherShardKeepsServingWhileVictimReboots) {
+  Client A = connect(); // shard 0
+  Client B = connect(); // shard 1
+  bool Ok = false;
+  std::string Value;
+  ASSERT_TRUE(B.sendLine("!kill 1")); // crash B's shard, don't wait
+  for (int I = 0; I < 10; ++I) {
+    ASSERT_TRUE(A.eval(std::to_string(I) + " + 1", Ok, Value, 120.0));
+    EXPECT_TRUE(Ok);
+    EXPECT_EQ(Value, std::to_string(I + 1));
+  }
+  std::string Line;
+  ASSERT_TRUE(B.recvLine(Line, 120.0)); // kill ack
+  ASSERT_TRUE(B.eval("2 + 2", Ok, Value, 120.0));
+  EXPECT_TRUE(Ok);
+  EXPECT_EQ(Value, "4"); // victim is back
+}
+
+TEST_F(ServeTest, QuitFlushesPipelinedResponsesFirst) {
+  Client C = connect();
+  const int N = 5;
+  for (int I = 0; I < N; ++I)
+    ASSERT_TRUE(C.sendLine(std::to_string(I) + " + 0"));
+  ASSERT_TRUE(C.sendLine("!quit"));
+  int Evals = 0;
+  bool SawBye = false;
+  std::string Line, Tag, Value;
+  bool Ok = false;
+  // `bye` answers out of band; all N eval responses must still arrive
+  // before the server closes the socket.
+  while (C.recvLine(Line, 60.0)) {
+    ASSERT_TRUE(parseResponseLine(Line, Ok, Tag, Value));
+    if (Value == "bye")
+      SawBye = true;
+    else
+      ++Evals;
+  }
+  EXPECT_EQ(Evals, N);
+  EXPECT_TRUE(SawBye);
+}
+
+TEST_F(ServeTest, DrainStopsTheServerAndCheckpointsShards) {
+  Client C = connect();
+  bool Ok = false;
+  std::string Value;
+  ASSERT_TRUE(C.eval("!drain", Ok, Value));
+  EXPECT_TRUE(Ok);
+  EXPECT_TRUE(S->waitStopped(120.0));
+  // The drain path checkpoints every shard on the way out.
+  EXPECT_EQ(access(shardImagePath(DataDir, 0).c_str(), F_OK), 0);
+  EXPECT_EQ(access(shardImagePath(DataDir, 1).c_str(), F_OK), 0);
+}
+
+TEST_F(ServeTest, ProtocolErrorsAnswerWithoutKillingTheServer) {
+  Client C = connect();
+  bool Ok = true;
+  std::string Value;
+  ASSERT_TRUE(C.eval("!kill 99", Ok, Value));
+  EXPECT_FALSE(Ok);
+  ASSERT_TRUE(C.eval("!nosuch", Ok, Value));
+  EXPECT_FALSE(Ok);
+  ASSERT_TRUE(C.eval("41 + 1", Ok, Value));
+  EXPECT_TRUE(Ok);
+  EXPECT_EQ(Value, "42");
+}
+
+} // namespace
