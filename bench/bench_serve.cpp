@@ -11,6 +11,12 @@
 /// price crash recovery under fire. Reports sustained requests/sec and
 /// the serve.latency percentiles, plus the usual full telemetry block.
 ///
+/// A second phase storms one shard with offered load beyond its queue
+/// budget while a deliberate `[true] whileTrue.` runaway stalls its VM:
+/// gates on requests shed (ERR overloaded), the runaway aborted by its
+/// deadline (ERR RequestTimeout, no shard reboot), bounded accepted-
+/// request p99, and the victim shard still serving afterwards.
+///
 ///   bench_serve --json-out=OUT.json --image=prewarmed.image
 ///
 /// Scaled by MST_BENCH_SCALE (sessions and rounds; the session count
@@ -90,6 +96,66 @@ double histP(const Telemetry::Snapshot &S, const std::string &Name,
   return 0.0;
 }
 
+// --- Phase 2: overload storm ---------------------------------------------
+
+struct StormResult {
+  uint64_t Accepted = 0;  ///< OK responses
+  uint64_t Shed = 0;      ///< ERR overloaded (budget/breaker fast-fail)
+  uint64_t TimedOut = 0;  ///< ERR RequestTimeout (deadline abort)
+  uint64_t Transport = 0; ///< connection-level failures
+  std::vector<double> AcceptedMs; ///< arrival latency of OK responses
+};
+
+/// Floods one session: pipelines \p M quick evals (optionally preceded by
+/// a deliberate runaway with a 400ms deadline), then collects every
+/// response, timing OK arrivals. Sheds and deadline ERRs are the point of
+/// the storm, not failures.
+void stormSession(Client &C, int M, bool Runaway, StormResult &R) {
+  auto T0 = std::chrono::steady_clock::now();
+  int Expect = M;
+  if (Runaway) {
+    if (!C.sendLine("@run?deadline=400 [true] whileTrue.")) {
+      ++R.Transport;
+      return;
+    }
+    ++Expect;
+  }
+  for (int I = 0; I < M; ++I)
+    if (!C.sendLine("@s" + std::to_string(I) + " 3 + " +
+                    std::to_string(I))) {
+      ++R.Transport;
+      return;
+    }
+  for (int I = 0; I < Expect; ++I) {
+    std::string Line, Tag, Value;
+    bool Ok = false;
+    if (!C.recvLine(Line, 600.0) ||
+        !parseResponseLine(Line, Ok, Tag, Value)) {
+      ++R.Transport;
+      return;
+    }
+    if (Ok) {
+      ++R.Accepted;
+      R.AcceptedMs.push_back(
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - T0)
+              .count());
+    } else if (Value.rfind("overloaded", 0) == 0) {
+      ++R.Shed;
+    } else if (Value.find("RequestTimeout") != std::string::npos) {
+      ++R.TimedOut;
+    }
+  }
+}
+
+double pctile(std::vector<double> &V, double P) {
+  if (V.empty())
+    return 0.0;
+  std::sort(V.begin(), V.end());
+  size_t I = static_cast<size_t>(P * (V.size() - 1));
+  return V[I];
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -114,6 +180,12 @@ int main(int argc, char **argv) {
   Config.Pool.BaseImage = Flags.ImagePath;
   Config.Pool.DataDir = DataDir;
   Config.Pool.Vm = VmConfig::multiprocessor(1);
+  // Overload-control knobs the phase-2 storm runs against. The queue
+  // budget is far above phase 1's ~250 outstanding per shard, so the
+  // headline numbers stay comparable across runs; AbortGraceMs only
+  // matters if an abort fails to land (escalation is a storm failure).
+  Config.QueueBudget = 1024;
+  Config.Pool.AbortGraceMs = 2000;
   Server S(Config);
   std::string Error;
   if (!S.start(Error)) {
@@ -213,6 +285,107 @@ int main(int argc, char **argv) {
                  static_cast<unsigned long long>(Totals.Oks.load()),
                  static_cast<unsigned long long>(Restarts), AllServing);
 
+  // --- Phase 2: overload storm against one shard -------------------------
+  // Offered load deliberately exceeds the shard's queue budget while a
+  // runaway request stalls its VM: the budget must shed (ERR overloaded),
+  // the deadline machinery must abort the runaway (no reboot), accepted
+  // requests must complete with bounded latency, and the victim shard
+  // must keep serving.
+  const int StormPerSession = 192; // 8 sessions -> 1537 offered vs 1024
+  std::deque<Client> Storm;
+  std::string TargetShard;
+  for (int Probe = 0; Probe < 32 && Storm.size() < 8; ++Probe) {
+    Client C;
+    if (!C.connect(S.port()))
+      break;
+    bool Ok = false;
+    std::string Id;
+    if (!C.eval("Smalltalk at: #ShardId", Ok, Id, 600.0) || !Ok)
+      continue;
+    if (TargetShard.empty())
+      TargetShard = Id;
+    if (Id == TargetShard)
+      Storm.push_back(std::move(C));
+  }
+  uint64_t RestartsBefore = 0, ExpiredBefore = 0;
+  for (const auto &H : S.pool().health()) {
+    RestartsBefore += H.Restarts;
+    ExpiredBefore += H.DeadlineExpired;
+  }
+
+  std::vector<StormResult> StormResults(Storm.size());
+  auto StormStart = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> StormWorkers;
+    for (size_t I = 0; I < Storm.size(); ++I)
+      StormWorkers.emplace_back([&, I] {
+        stormSession(Storm[I], StormPerSession, I == 0, StormResults[I]);
+      });
+    for (auto &T : StormWorkers)
+      T.join();
+  }
+  double StormWallMs = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - StormStart)
+                           .count();
+
+  StormResult Agg;
+  for (StormResult &R : StormResults) {
+    Agg.Accepted += R.Accepted;
+    Agg.Shed += R.Shed;
+    Agg.TimedOut += R.TimedOut;
+    Agg.Transport += R.Transport;
+    Agg.AcceptedMs.insert(Agg.AcceptedMs.end(), R.AcceptedMs.begin(),
+                          R.AcceptedMs.end());
+  }
+  double AcceptedP50 = pctile(Agg.AcceptedMs, 0.50);
+  double AcceptedP99 = pctile(Agg.AcceptedMs, 0.99);
+
+  // The runaway's shard keeps serving, with no reboot (the abort landed
+  // inside the VM; escalation would show up as a restart).
+  bool ShardServes = false;
+  if (!Storm.empty()) {
+    bool Ok = false;
+    std::string Value;
+    ShardServes = Storm.front().eval("6 * 7", Ok, Value, 600.0) && Ok &&
+                  Value == "42";
+  }
+  uint64_t RestartsAfter = 0, ExpiredAfter = 0;
+  for (const auto &H : S.pool().health()) {
+    RestartsAfter += H.Restarts;
+    ExpiredAfter += H.DeadlineExpired;
+  }
+
+  bool StormPass = Storm.size() == 8 && Agg.Transport == 0 &&
+                   Agg.Shed > 0 && Agg.TimedOut >= 1 &&
+                   ExpiredAfter > ExpiredBefore &&
+                   RestartsAfter == RestartsBefore && ShardServes &&
+                   AcceptedP99 < 15000.0;
+  std::printf("bench_serve: storm shard=%s offered=%d accepted=%llu "
+              "shed=%llu timed_out=%llu accepted_p99=%.1fms wall=%.0fms "
+              "%s\n",
+              TargetShard.c_str(),
+              static_cast<int>(Storm.size()) * StormPerSession + 1,
+              static_cast<unsigned long long>(Agg.Accepted),
+              static_cast<unsigned long long>(Agg.Shed),
+              static_cast<unsigned long long>(Agg.TimedOut), AcceptedP99,
+              StormWallMs, StormPass ? "PASS" : "FAILED");
+  if (!StormPass)
+    std::fprintf(stderr,
+                 "bench_serve: storm FAILED (sessions=%zu transport=%llu "
+                 "shed=%llu timed_out=%llu expired_delta=%llu "
+                 "restarts_delta=%llu serves=%d p99=%.1fms)\n",
+                 Storm.size(),
+                 static_cast<unsigned long long>(Agg.Transport),
+                 static_cast<unsigned long long>(Agg.Shed),
+                 static_cast<unsigned long long>(Agg.TimedOut),
+                 static_cast<unsigned long long>(ExpiredAfter -
+                                                 ExpiredBefore),
+                 static_cast<unsigned long long>(RestartsAfter -
+                                                 RestartsBefore),
+                 ShardServes, AcceptedP99);
+  Pass = Pass && StormPass;
+
+  Telemetry::Snapshot Final = Telemetry::snapshot();
   if (!Flags.JsonOut.empty()) {
     std::ofstream Out(Flags.JsonOut);
     Out << "{\n  \"bench\": \"serve\",\n"
@@ -230,7 +403,21 @@ int main(int argc, char **argv) {
         << "  \"latency_p99_ns\": " << P99 << ",\n"
         << "  \"shard_restarts\": " << Restarts << ",\n"
         << "  \"all_shards_serving\": " << (AllServing ? "true" : "false")
-        << ",\n  \"telemetry\": " << Telemetry::toJson(Snap) << "\n}\n";
+        << ",\n  \"storm\": {\n"
+        << "    \"sessions\": " << Storm.size() << ",\n"
+        << "    \"offered\": "
+        << static_cast<int>(Storm.size()) * StormPerSession + 1 << ",\n"
+        << "    \"accepted\": " << Agg.Accepted << ",\n"
+        << "    \"shed\": " << Agg.Shed << ",\n"
+        << "    \"timed_out\": " << Agg.TimedOut << ",\n"
+        << "    \"accepted_p50_ms\": " << AcceptedP50 << ",\n"
+        << "    \"accepted_p99_ms\": " << AcceptedP99 << ",\n"
+        << "    \"wall_ms\": " << StormWallMs << ",\n"
+        << "    \"restarts_during_storm\": "
+        << (RestartsAfter - RestartsBefore) << ",\n"
+        << "    \"pass\": " << (StormPass ? "true" : "false") << "\n"
+        << "  },\n  \"telemetry\": " << Telemetry::toJson(Final)
+        << "\n}\n";
     std::printf("results written to %s\n", Flags.JsonOut.c_str());
   }
 
@@ -238,8 +425,10 @@ int main(int argc, char **argv) {
   for (auto &PT : PerThread)
     for (auto &C : PT)
       C.disconnect();
+  for (auto &C : Storm)
+    C.disconnect();
   Admin.disconnect();
   S.stop();
-  finishBenchFlags(Flags, Snap);
+  finishBenchFlags(Flags, Final);
   return Pass ? 0 : 1;
 }

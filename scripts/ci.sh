@@ -37,7 +37,11 @@
 #                (MST_CHAOS_SHARD_CRASH_PM), so shards keep crashing
 #                mid-batch under real loopback traffic and must restart
 #                from their last committed checkpoint while the rest of
-#                the pool keeps serving.
+#                the pool keeps serving; then the overload/stall storm
+#                with MST_CHAOS_REQUEST_STALL_PM (runaway injection) and
+#                MST_CHAOS_ABORT_STUCK_PM (aborts that refuse to land)
+#                armed, gating that deadlines abort runaways, stuck
+#                aborts escalate to a shard reboot, and no shard wedges.
 #   profile      ASan+UBSan build with benches ON: bench_table2 runs with
 #                --profile, the folded flamegraph export must parse and
 #                name at least one Smalltalk selector, and a second
@@ -165,6 +169,17 @@ do_serve() {
   MST_CHAOS_SHARD_CRASH_PM=${MST_CHAOS_SHARD_CRASH_PM:-80} \
   MST_CHAOS_SEED="${CHAOS_SEED:-1}" \
     ctest --test-dir build-ci/serve -R 'ServeChaos' \
+    -E 'RequestStallStorm' --output-on-failure -j "$JOBS"
+  # Overload/stall storm: serve.request.stall rewrites ~8% of evals into
+  # `[true] whileTrue.` runaways and serve.abort.stuck makes some of
+  # their aborts refuse to land, so the deadline -> abort -> escalate
+  # ladder runs end to end under TSan. The test gates on no wedged
+  # shards (every request answers, all shards serving) and on escalated
+  # aborts recovering via a shard reboot rather than a hang.
+  MST_CHAOS_REQUEST_STALL_PM=${MST_CHAOS_REQUEST_STALL_PM:-80} \
+  MST_CHAOS_ABORT_STUCK_PM=${MST_CHAOS_ABORT_STUCK_PM:-150} \
+  MST_CHAOS_SEED="${CHAOS_SEED:-1}" \
+    ctest --test-dir build-ci/serve -R 'RequestStallStorm' \
     --output-on-failure -j "$JOBS"
 }
 

@@ -67,7 +67,9 @@ std::string profilerBreakdownJson() {
 }
 } // namespace
 
-std::string serve::buildHealthJson(ShardPool &Pool, ServeStats &Stats) {
+std::string serve::buildHealthJson(ShardPool &Pool, ServeStats &Stats,
+                                   const std::vector<ShardGateView>
+                                       *Gates) {
   std::string Out = "{\"shards\":[";
   bool First = true;
   uint64_t QueueDepth = 0;
@@ -84,7 +86,21 @@ std::string serve::buildHealthJson(ShardPool &Pool, ServeStats &Stats) {
            ",\"batches\":" + std::to_string(H.Batches) +
            ",\"checkpoints\":" + std::to_string(H.Checkpoints) +
            ",\"queue_depth\":" + std::to_string(H.QueueDepth) +
-           ",\"last_error\":";
+           ",\"oldest_queued_ms\":" + std::to_string(H.OldestQueuedMs) +
+           ",\"deadline_expired\":" +
+           std::to_string(H.DeadlineExpired) +
+           ",\"aborts\":" + std::to_string(H.Aborts) +
+           ",\"aborts_escalated\":" +
+           std::to_string(H.AbortsEscalated);
+    if (Gates && H.Index < Gates->size()) {
+      const ShardGateView &G = (*Gates)[H.Index];
+      Out += ",\"breaker\":";
+      jsonStringTo(Out, G.Breaker);
+      Out += ",\"outstanding\":" + std::to_string(G.Outstanding) +
+             ",\"consec_timeouts\":" +
+             std::to_string(G.ConsecTimeouts);
+    }
+    Out += ",\"last_error\":";
     jsonStringTo(Out, H.LastError);
     Out += '}';
   }

@@ -20,6 +20,7 @@
 #define MST_SERVE_ADMIN_H
 
 #include <string>
+#include <vector>
 
 #include "serve/ServeStats.h"
 #include "serve/Shard.h"
@@ -28,8 +29,20 @@
 namespace mst {
 namespace serve {
 
-/// Renders the one-line aggregate health JSON.
-std::string buildHealthJson(ShardPool &Pool, ServeStats &Stats);
+/// The front-end's per-shard admission view, rendered into the health
+/// report next to the shard's own counters (the Server fills these from
+/// its event-loop-owned gates).
+struct ShardGateView {
+  const char *Breaker = "closed"; ///< "closed" | "open" | "half-open"
+  uint64_t Outstanding = 0;       ///< submitted, not yet answered
+  uint64_t ConsecTimeouts = 0;
+};
+
+/// Renders the one-line aggregate health JSON. \p Gates, when non-null,
+/// is indexed by shard id (the caller guarantees one entry per shard).
+std::string buildHealthJson(ShardPool &Pool, ServeStats &Stats,
+                            const std::vector<ShardGateView> *Gates =
+                                nullptr);
 
 } // namespace serve
 } // namespace mst

@@ -7,8 +7,10 @@
 #include "serve/Client.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <netinet/in.h>
+#include <thread>
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
@@ -65,11 +67,27 @@ bool Client::sendLine(const std::string &Line) {
 bool Client::recvLine(std::string &Line, double TimeoutSec) {
   if (Fd < 0)
     return false;
+  // One absolute deadline across the whole loop: partial reads must not
+  // restart the budget, and an EINTR-interrupted poll() is a retry, not
+  // a timeout.
+  const auto Deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(TimeoutSec));
   bool TooLong = false;
   while (!nextLine(In, Line, ~size_t{0}, TooLong)) {
+    auto Left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        Deadline - std::chrono::steady_clock::now());
+    if (Left.count() <= 0)
+      return false; // timeout
     pollfd P{Fd, POLLIN, 0};
-    int R = poll(&P, 1, static_cast<int>(TimeoutSec * 1000));
-    if (R <= 0)
+    int R = poll(&P, 1, static_cast<int>(Left.count()));
+    if (R < 0) {
+      if (errno == EINTR)
+        continue;
+      return false; // poll failure
+    }
+    if (R == 0)
       return false; // timeout
     char Buf[16 * 1024];
     ssize_t N = read(Fd, Buf, sizeof Buf);
@@ -91,4 +109,33 @@ bool Client::eval(const std::string &Source, bool &Ok, std::string &Value,
   if (!recvLine(Line, TimeoutSec))
     return false;
   return parseResponseLine(Line, Ok, Tag, Value);
+}
+
+bool Client::evalRetry(const std::string &Source, bool &Ok,
+                       std::string &Value, double TimeoutSec,
+                       unsigned MaxAttempts, uint64_t BaseBackoffMs) {
+  // Deterministic-ish jitter source: decorrelates concurrent clients
+  // without needing a real RNG (splitmix on fd + attempt).
+  uint64_t Seed = static_cast<uint64_t>(Fd) * 0x9e3779b97f4a7c15ULL ^
+                  reinterpret_cast<uintptr_t>(this);
+  for (unsigned Attempt = 0;; ++Attempt) {
+    if (!eval(Source, Ok, Value, TimeoutSec))
+      return false; // transport failure: retrying can't help a lost link
+    if (Ok || Value.rfind("overloaded", 0) != 0)
+      return true;
+    if (Attempt + 1 >= MaxAttempts)
+      return true; // shed on every attempt: surface the last ERR
+    // Jittered exponential backoff in [Base/2, Base) * 2^Attempt, capped
+    // so a long retry chain stays responsive to operator Ctrl-C.
+    uint64_t Window = BaseBackoffMs << (Attempt < 10 ? Attempt : 10);
+    if (Window > 2000)
+      Window = 2000;
+    Seed += 0x9e3779b97f4a7c15ULL + Attempt;
+    uint64_t Z = Seed;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    Z ^= Z >> 31;
+    uint64_t SleepMs = Window / 2 + Z % (Window / 2 + 1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(SleepMs));
+  }
 }

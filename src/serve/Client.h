@@ -52,6 +52,16 @@ public:
   bool eval(const std::string &Source, bool &Ok, std::string &Value,
             double TimeoutSec = 30.0);
 
+  /// eval() with jittered exponential backoff on `ERR overloaded`
+  /// responses (admission control / circuit breaker shedding). Retries
+  /// up to \p MaxAttempts times, sleeping a jittered
+  /// [Base/2, Base) * 2^attempt milliseconds between attempts (capped at
+  /// 2s). \returns false only on transport failure; a request shed on
+  /// every attempt returns true with the final ERR in \p Ok / \p Value.
+  bool evalRetry(const std::string &Source, bool &Ok, std::string &Value,
+                 double TimeoutSec = 30.0, unsigned MaxAttempts = 6,
+                 uint64_t BaseBackoffMs = 5);
+
 private:
   int Fd = -1;
   std::string In; ///< bytes received past the last returned line

@@ -75,6 +75,26 @@ Request serve::parseRequestLine(const std::string &Line) {
     }
     R.Tag = Rest.substr(0, Sp);
     Rest = Rest.substr(Sp + 1);
+    // `@tag?deadline=MS` — the deadline rides the tag token; the echoed
+    // tag is the bare prefix (empty for the anonymous `@?deadline=MS`).
+    size_t Qm = R.Tag.find('?');
+    if (Qm != std::string::npos) {
+      std::string Opt = R.Tag.substr(Qm + 1);
+      R.Tag = R.Tag.substr(0, Qm);
+      const char Key[] = "deadline=";
+      if (Opt.rfind(Key, 0) != 0 ||
+          Opt.size() == sizeof(Key) - 1 ||
+          Opt.find_first_not_of("0123456789", sizeof(Key) - 1) !=
+              std::string::npos) {
+        R.K = Request::Kind::Bad;
+        R.Error = "malformed tag option: expected '@tag?deadline=MS'";
+        return R;
+      }
+      R.DeadlineMs = std::strtoull(Opt.c_str() + sizeof(Key) - 1,
+                                   nullptr, 10);
+      if (R.Tag == "@")
+        R.Tag.clear();
+    }
     if (Rest.empty()) {
       R.K = Request::Kind::Bad;
       R.Error = "empty source after tag";

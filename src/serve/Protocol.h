@@ -11,6 +11,10 @@
 ///
 ///   3 + 4 * 2                  evaluate an expression
 ///   @t7 3 + 4 * 2              same, tagged: the response echoes @t7
+///   @t7?deadline=50 3 + 4 * 2  same, with a 50ms deadline: past it the
+///                              request answers ERR RequestTimeout (the
+///                              response echoes the bare @t7)
+///   @?deadline=50 3 + 4 * 2    anonymous deadline (no tag echoed)
 ///   !health                    admin: one-line aggregate JSON report
 ///   !checkpoint                admin: checkpoint every shard (one
 ///                              response line per shard)
@@ -56,6 +60,9 @@ struct Request {
   std::string Tag;    ///< "@name" echo token, or empty
   std::string Source; ///< unescaped Smalltalk source (Eval)
   unsigned KillShard = 0;
+  /// Per-request deadline from `?deadline=MS` (milliseconds from
+  /// receipt); 0 = use the server default.
+  uint64_t DeadlineMs = 0;
   std::string Error;  ///< diagnostic when K == Bad
 };
 

@@ -50,3 +50,8 @@ size_t RequestBatcher::depth() {
   std::lock_guard<std::mutex> Guard(Mutex);
   return Queue.size();
 }
+
+uint64_t RequestBatcher::oldestEnqueueNs() {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  return Queue.empty() ? 0 : Queue.front().EnqueueNs;
+}

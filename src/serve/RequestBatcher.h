@@ -43,10 +43,20 @@ struct QueuedRequest {
   Request::Kind Kind = Request::Kind::Eval;
   std::string Source;
   uint64_t EnqueueNs = 0;
+  /// Absolute completion deadline (Telemetry::nowNs time); 0 = none.
+  /// Stamped by the front-end (per-request `?deadline=MS` or the server
+  /// default); the shard fast-fails requests already past it and arms
+  /// the in-VM abort for the rest.
+  uint64_t DeadlineNs = 0;
+  /// Which shard the front-end pinned this request to (admission
+  /// bookkeeping on the response path).
+  unsigned Shard = 0;
 
   // Result (written by the shard thread, read after Reply).
   bool Done = false;
   bool Ok = false;
+  /// The request was unwound (or shed) by its deadline — breaker food.
+  bool TimedOut = false;
   std::string Value;
 };
 
@@ -71,6 +81,10 @@ public:
 
   /// \returns the current queue depth (racy; telemetry/health use only).
   size_t depth();
+
+  /// \returns the EnqueueNs of the oldest queued request, or 0 when the
+  /// queue is empty (racy; telemetry/health use only).
+  uint64_t oldestEnqueueNs();
 
 private:
   std::mutex Mutex;

@@ -61,6 +61,17 @@ int main(int argc, char **argv) {
       Config.MaxPipeline = std::strtoull(A + 15, nullptr, 0);
     } else if (std::strncmp(A, "--drain-timeout=", 16) == 0) {
       Config.DrainTimeoutSec = std::strtod(A + 16, nullptr);
+    } else if (std::strncmp(A, "--request-deadline-ms=", 22) == 0) {
+      Config.RequestDeadlineMs = std::strtoull(A + 22, nullptr, 0);
+    } else if (std::strncmp(A, "--queue-budget=", 15) == 0) {
+      Config.QueueBudget = std::strtoull(A + 15, nullptr, 0);
+    } else if (std::strncmp(A, "--breaker-threshold=", 20) == 0) {
+      Config.BreakerThreshold =
+          static_cast<unsigned>(std::strtoul(A + 20, nullptr, 0));
+    } else if (std::strncmp(A, "--breaker-open-ms=", 18) == 0) {
+      Config.BreakerOpenMs = std::strtoull(A + 18, nullptr, 0);
+    } else if (std::strncmp(A, "--abort-grace-ms=", 17) == 0) {
+      Config.Pool.AbortGraceMs = std::strtoull(A + 17, nullptr, 0);
     } else if (std::strncmp(A, "--chaos-seed=", 13) == 0) {
       chaos::enableSeed(std::strtoull(A + 13, nullptr, 0));
     } else if (std::strcmp(A, "--profile") == 0) {
@@ -70,7 +81,10 @@ int main(int argc, char **argv) {
                    "usage: %s [--port=N] [--shards=N] [--image=PATH] "
                    "[--data-dir=DIR] [--snapshot-every=MS] "
                    "[--snapshot-keep=N] [--max-batch=N] [--max-pipeline=N] "
-                   "[--drain-timeout=SEC] [--chaos-seed=N] [--profile]\n",
+                   "[--drain-timeout=SEC] [--request-deadline-ms=MS] "
+                   "[--queue-budget=N] [--breaker-threshold=N] "
+                   "[--breaker-open-ms=MS] [--abort-grace-ms=MS] "
+                   "[--chaos-seed=N] [--profile]\n",
                    argv[0]);
       return 2;
     }

@@ -15,9 +15,18 @@
 ///   serve.errors            requests answered ERR (counter)
 ///   serve.batches           batches carried through IpcChannels (counter)
 ///   serve.shard.restarts    shard crash/restart cycles (counter)
+///   serve.deadline.expired  request deadlines that expired (counter)
+///   serve.aborts            in-VM aborts delivered to runaways (counter)
+///   serve.aborts.escalated  aborts the VM never honored: the watchdog
+///                           escalated to a shard reboot (counter)
+///   serve.shed              requests fast-failed "ERR overloaded" by
+///                           admission control / the breaker (counter)
+///   serve.breaker.open      circuit-breaker open transitions (counter)
 ///   serve.sessions.active   open client sessions (gauge)
+///   serve.queue.depth       requests queued across all batchers (gauge)
 ///   serve.batch.size        requests per batch (histogram, unit "reqs")
 ///   serve.latency           enqueue-to-completion latency (histogram, ns)
+///   serve.queue.wait        enqueue-to-eval-start wait (histogram, ns)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -38,8 +47,14 @@ struct ServeStats {
   Counter Errors{"serve.errors"};
   Counter Batches{"serve.batches"};
   Counter Restarts{"serve.shard.restarts"};
+  Counter DeadlineExpired{"serve.deadline.expired"};
+  Counter Aborts{"serve.aborts"};
+  Counter AbortsEscalated{"serve.aborts.escalated"};
+  Counter Shed{"serve.shed"};
+  Counter BreakerOpen{"serve.breaker.open"};
   Histogram BatchSize{"serve.batch.size", "reqs"};
   Histogram Latency{"serve.latency"};
+  Histogram QueueWait{"serve.queue.wait"};
 
   std::atomic<uint64_t> ActiveSessions{0};
   std::atomic<uint64_t> TotalSessions{0};
@@ -47,6 +62,13 @@ struct ServeStats {
                          return ActiveSessions.load(
                              std::memory_order_relaxed);
                        }};
+  /// Requests sitting in batchers right now (pushed, not yet taken by a
+  /// courier). Shards increment on successful push; couriers subtract
+  /// whole batches.
+  std::atomic<uint64_t> QueuedNow{0};
+  Gauge QueueDepth{"serve.queue.depth", [this] {
+                     return QueuedNow.load(std::memory_order_relaxed);
+                   }};
 };
 
 } // namespace serve

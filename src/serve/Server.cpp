@@ -56,6 +56,7 @@ bool Server::start(std::string &Error) {
     Pool->stop();
     return false;
   }
+  Gates.assign(Pool->size(), ShardGate{});
 
   int Pipe[2];
   if (pipe(Pipe) != 0) {
@@ -155,12 +156,33 @@ void Server::loopMain() {
 
     if (Draining) {
       // Close every session with nothing in flight and nothing to flush.
+      // Past the drain deadline a straggler's queued requests will never
+      // answer: give each of them a clean ERR, flush best-effort, then
+      // force the close.
+      bool DeadlineHit = nowNs() > DrainDeadlineNs;
       std::vector<uint64_t> Done;
-      for (auto &[Id, S] : Sessions)
-        if ((S.Pending == 0 && S.Out.empty()) || nowNs() > DrainDeadlineNs)
+      for (auto &[Id, S] : Sessions) {
+        if (S.Pending == 0 && S.Out.empty()) {
           Done.push_back(Id);
-      for (uint64_t Id : Done)
+          continue;
+        }
+        if (DeadlineHit) {
+          for (uint64_t I = 0; I < S.Pending; ++I)
+            S.Out += formatResponse(false, "",
+                                    "server draining: deadline expired "
+                                    "before the request completed");
+          S.Pending = 0;
+          Done.push_back(Id);
+        }
+      }
+      for (uint64_t Id : Done) {
+        auto It = Sessions.find(Id);
+        if (It == Sessions.end())
+          continue;
+        if (!It->second.Out.empty())
+          writeSession(It->second); // may close on a write error
         closeSession(Id);
+      }
       if (Sessions.empty())
         break;
     }
@@ -305,9 +327,22 @@ void Server::handleLine(Session &S, const std::string &Line) {
     S.Out += formatResponse(true, R.Tag, "draining");
     requestDrain();
     return;
-  case Request::Kind::Health:
-    S.Out += formatResponse(true, R.Tag, buildHealthJson(*Pool, Stats));
+  case Request::Kind::Health: {
+    std::vector<ShardGateView> Views(Gates.size());
+    for (size_t I = 0; I < Gates.size(); ++I) {
+      const ShardGate &G = Gates[I];
+      Views[I].Breaker =
+          G.State == ShardGate::Breaker::Open
+              ? "open"
+              : (G.State == ShardGate::Breaker::HalfOpen ? "half-open"
+                                                         : "closed");
+      Views[I].Outstanding = G.Outstanding;
+      Views[I].ConsecTimeouts = G.ConsecTimeouts;
+    }
+    S.Out += formatResponse(true, R.Tag,
+                            buildHealthJson(*Pool, Stats, &Views));
     return;
+  }
   case Request::Kind::Kill: {
     if (R.KillShard >= Pool->size()) {
       S.Out += formatResponse(false, R.Tag, "no such shard");
@@ -318,11 +353,13 @@ void Server::handleLine(Session &S, const std::string &Line) {
     Q.Seq = S.NextSeq++;
     Q.Tag = R.Tag;
     Q.Kind = Request::Kind::Kill;
+    Q.Shard = R.KillShard;
     Q.EnqueueNs = nowNs();
     if (!Pool->submit(R.KillShard, std::move(Q))) {
       S.Out += formatResponse(false, R.Tag, "shard unavailable");
       return;
     }
+    ++Gates[R.KillShard].Outstanding;
     ++S.Pending;
     break;
   }
@@ -334,27 +371,70 @@ void Server::handleLine(Session &S, const std::string &Line) {
       Q.Seq = S.NextSeq++;
       Q.Tag = R.Tag;
       Q.Kind = Request::Kind::Checkpoint;
+      Q.Shard = I;
       Q.EnqueueNs = nowNs();
-      if (Pool->submit(I, std::move(Q)))
+      if (Pool->submit(I, std::move(Q))) {
+        ++Gates[I].Outstanding;
         ++S.Pending;
-      else
+      } else {
         S.Out += formatResponse(false, R.Tag,
                                 "shard " + std::to_string(I) + " unavailable");
+      }
     }
     break;
   }
   case Request::Kind::Eval: {
+    ShardGate &G = Gates[S.Shard];
+    // Breaker: open -> shed; open-long-enough -> half-open (one probe).
+    if (G.State == ShardGate::Breaker::Open &&
+        nowNs() >= G.OpenUntilNs) {
+      G.State = ShardGate::Breaker::HalfOpen;
+      G.ProbeInFlight = false;
+    }
+    if (G.State == ShardGate::Breaker::Open ||
+        (G.State == ShardGate::Breaker::HalfOpen && G.ProbeInFlight)) {
+      S.Out += formatResponse(false, R.Tag,
+                              "overloaded: shard " +
+                                  std::to_string(S.Shard) +
+                                  " circuit breaker open; retry later");
+      Stats.Shed.add();
+      Stats.Errors.add();
+      return;
+    }
+    // Admission control: a full per-shard budget fast-fails instead of
+    // growing the queue without bound.
+    if (Config.QueueBudget != 0 && G.Outstanding >= Config.QueueBudget) {
+      S.Out += formatResponse(false, R.Tag,
+                              "overloaded: shard " +
+                                  std::to_string(S.Shard) +
+                                  " queue budget exhausted; retry later");
+      Stats.Shed.add();
+      Stats.Errors.add();
+      return;
+    }
     QueuedRequest Q;
     Q.SessionId = S.Id;
     Q.Seq = S.NextSeq++;
     Q.Tag = R.Tag;
     Q.Kind = Request::Kind::Eval;
     Q.Source = std::move(R.Source);
+    Q.Shard = S.Shard;
     Q.EnqueueNs = nowNs();
+    uint64_t DeadlineMs =
+        R.DeadlineMs != 0 ? R.DeadlineMs : Config.RequestDeadlineMs;
+    if (DeadlineMs != 0)
+      Q.DeadlineNs = Q.EnqueueNs + DeadlineMs * 1000000;
+    uint64_t Seq = Q.Seq;
     if (!Pool->submit(S.Shard, std::move(Q))) {
       S.Out += formatResponse(false, R.Tag, "shard unavailable");
       Stats.Errors.add(1);
       return;
+    }
+    ++G.Outstanding;
+    if (G.State == ShardGate::Breaker::HalfOpen) {
+      G.ProbeInFlight = true;
+      G.ProbeSession = S.Id;
+      G.ProbeSeq = Seq;
     }
     ++S.Pending;
     break;
@@ -400,6 +480,37 @@ void Server::deliverResponses() {
   }
   for (Batch &B : Ready) {
     for (QueuedRequest &Q : B) {
+      // Gate bookkeeping first — it must happen even when the session
+      // already left (the shard did the work either way).
+      if (Q.Shard < Gates.size()) {
+        ShardGate &G = Gates[Q.Shard];
+        if (G.Outstanding)
+          --G.Outstanding;
+        if (Q.Kind == Request::Kind::Eval) {
+          bool Probe = G.ProbeInFlight && G.ProbeSession == Q.SessionId &&
+                       G.ProbeSeq == Q.Seq;
+          if (Probe)
+            G.ProbeInFlight = false;
+          if (Q.TimedOut) {
+            ++G.ConsecTimeouts;
+            bool Trip = G.State == ShardGate::Breaker::Closed &&
+                        Config.BreakerThreshold != 0 &&
+                        G.ConsecTimeouts >= Config.BreakerThreshold;
+            if (Trip ||
+                (Probe && G.State == ShardGate::Breaker::HalfOpen)) {
+              G.State = ShardGate::Breaker::Open;
+              G.OpenUntilNs =
+                  nowNs() + Config.BreakerOpenMs * 1000000;
+              G.ConsecTimeouts = 0;
+              Stats.BreakerOpen.add();
+            }
+          } else {
+            G.ConsecTimeouts = 0;
+            if (Probe && G.State == ShardGate::Breaker::HalfOpen)
+              G.State = ShardGate::Breaker::Closed;
+          }
+        }
+      }
       auto It = Sessions.find(Q.SessionId);
       if (It == Sessions.end())
         continue; // session left before its answer arrived

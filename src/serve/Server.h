@@ -35,6 +35,7 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <vector>
 
 #include "serve/Session.h"
 #include "serve/ShardPool.h"
@@ -55,6 +56,19 @@ struct ServerConfig {
   double DrainTimeoutSec = 30.0;
   /// How long to wait for the shard VMs to boot.
   double ReadyTimeoutSec = 300.0;
+  /// Default per-request deadline stamped on evaluations that carry no
+  /// `?deadline=MS` of their own; 0 = no default (runaways wedge their
+  /// shard, as before).
+  uint64_t RequestDeadlineMs = 0;
+  /// Admission control: evaluations outstanding per shard before new
+  /// ones fast-fail `ERR overloaded`; 0 = unbounded.
+  size_t QueueBudget = 1024;
+  /// Consecutive deadline expiries on one shard that open its circuit
+  /// breaker; 0 disables the breaker.
+  unsigned BreakerThreshold = 8;
+  /// How long an open breaker sheds before letting one half-open probe
+  /// through.
+  uint64_t BreakerOpenMs = 1000;
 };
 
 class Server {
@@ -118,6 +132,24 @@ private:
   uint64_t NextSessionId = 0;
   bool Draining = false;
   uint64_t DrainDeadlineNs = 0;
+
+  /// Per-shard admission gate (event-loop-owned, like the sessions):
+  /// outstanding-request budget plus the circuit breaker. Consecutive
+  /// deadline expiries open the breaker; while open every evaluation
+  /// fast-fails `ERR overloaded`; after BreakerOpenMs one probe request
+  /// is let through half-open — success recloses, another expiry
+  /// reopens.
+  struct ShardGate {
+    uint64_t Outstanding = 0;
+    unsigned ConsecTimeouts = 0;
+    enum class Breaker : uint8_t { Closed, Open, HalfOpen };
+    Breaker State = Breaker::Closed;
+    uint64_t OpenUntilNs = 0;
+    bool ProbeInFlight = false;
+    uint64_t ProbeSession = 0;
+    uint64_t ProbeSeq = 0;
+  };
+  std::vector<ShardGate> Gates; // indexed by shard, sized in start()
 
   // Cross-thread: courier-completed batches + drain request.
   std::mutex RespMutex;

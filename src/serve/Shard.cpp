@@ -32,6 +32,7 @@ Shard::~Shard() { stop(); }
 void Shard::start() {
   ShardThread = std::thread([this] { shardMain(); });
   CourierThread = std::thread([this] { courierMain(); });
+  WatchdogThread = std::thread([this] { watchdogMain(); });
 }
 
 bool Shard::waitReady(double TimeoutSec) {
@@ -47,7 +48,10 @@ bool Shard::waitReady(double TimeoutSec) {
 bool Shard::submit(QueuedRequest R) {
   if (Stopping.load(std::memory_order_relaxed))
     return false;
-  return Batcher.push(std::move(R));
+  if (!Batcher.push(std::move(R)))
+    return false;
+  Stats.QueuedNow.fetch_add(1, std::memory_order_relaxed);
+  return true;
 }
 
 void Shard::stop() {
@@ -62,6 +66,16 @@ void Shard::stop() {
   Channel.shutdown();
   if (ShardThread.joinable())
     ShardThread.join();
+  // The watchdog outlives the shard thread: drained requests with
+  // deadlines may still need aborting while the shard works through its
+  // final batches above.
+  {
+    std::lock_guard<std::mutex> G(AbortMutex);
+    WatchdogStop = true;
+  }
+  WatchdogCv.notify_all();
+  if (WatchdogThread.joinable())
+    WatchdogThread.join();
 }
 
 Shard::Health Shard::health() {
@@ -73,6 +87,15 @@ Shard::Health Shard::health() {
   H.Batches = BatchCount.load(std::memory_order_relaxed);
   H.Checkpoints = CheckpointCount.load(std::memory_order_relaxed);
   H.QueueDepth = Batcher.depth();
+  uint64_t Oldest = Batcher.oldestEnqueueNs();
+  if (Oldest != 0) {
+    uint64_t Now = Telemetry::nowNs();
+    H.OldestQueuedMs = Now > Oldest ? (Now - Oldest) / 1000000 : 0;
+  }
+  H.DeadlineExpired =
+      DeadlineExpiredCount.load(std::memory_order_relaxed);
+  H.Aborts = AbortCount.load(std::memory_order_relaxed);
+  H.AbortsEscalated = EscalatedCount.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> G(StateMutex);
   H.State = State;
   H.LastError = LastError;
@@ -185,14 +208,13 @@ void Shard::processBatch(Batch &B) {
     }
     switch (Q.Kind) {
     case Request::Kind::Eval: {
-      VirtualMachine::EvalResult R = VM->evaluate(Q.Source);
-      Q.Done = true;
-      Q.Ok = R.Ok;
-      Q.Value = std::move(R.Value);
-      Stats.Requests.add();
-      if (!Q.Ok)
-        Stats.Errors.add();
-      RequestCount.fetch_add(1, std::memory_order_relaxed);
+      if (!evalRequest(Q)) {
+        // The watchdog escalated a dishonored abort: this VM is stopping
+        // and cannot serve another request — walk the crash ladder.
+        failFrom(B, I + 1);
+        restartVm("deadline abort escalated");
+        return;
+      }
       break;
     }
     case Request::Kind::Checkpoint: {
@@ -227,6 +249,116 @@ void Shard::processBatch(Batch &B) {
   if (Ck)
     CheckpointCount.store(CkTakenBase + Ck->checkpointsTaken(),
                           std::memory_order_relaxed);
+}
+
+bool Shard::evalRequest(QueuedRequest &Q) {
+  uint64_t Now = Telemetry::nowNs();
+  Stats.QueueWait.record(Now - Q.EnqueueNs);
+  if (Q.DeadlineNs != 0 && Now >= Q.DeadlineNs) {
+    // Expired while queued: answer without burning VM time on it.
+    Q.Done = true;
+    Q.Ok = false;
+    Q.TimedOut = true;
+    Q.Value = "RequestTimeout: deadline expired before evaluation "
+              "(queued " +
+              std::to_string((Now - Q.EnqueueNs) / 1000000) + "ms)";
+    Stats.DeadlineExpired.add();
+    DeadlineExpiredCount.fetch_add(1, std::memory_order_relaxed);
+    Stats.Requests.add();
+    Stats.Errors.add();
+    RequestCount.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  const char *Source = Q.Source.c_str();
+  // Storm drills. "stall" rewrites the request into a runaway loop (the
+  // infinite request a buggy client would send); "stuck" models a wedged
+  // primitive: the VM never reaches a bytecode boundary, so neither the
+  // in-VM deadline nor the watchdog's abort can fire — only escalation
+  // gets the shard back.
+  if (chaos::failPoint("serve.request.stall"))
+    Source = "[true] whileTrue.";
+  bool Stuck = chaos::failPoint("serve.abort.stuck");
+
+  {
+    std::lock_guard<std::mutex> G(AbortMutex);
+    ++InFlightToken;
+    InFlightDeadlineNs = Q.DeadlineNs;
+    AbortArmed = false;
+    EscalateFired = false;
+    StuckSim = Stuck;
+  }
+  VirtualMachine::EvalResult R =
+      (Q.DeadlineNs != 0 && !Stuck)
+          ? VM->evalWithDeadline(Source, Q.DeadlineNs)
+          : VM->evaluate(Source);
+  bool Escalated;
+  {
+    std::lock_guard<std::mutex> G(AbortMutex);
+    InFlightDeadlineNs = 0;
+    Escalated = EscalateFired;
+    // An abort that raced with normal completion must not leak into the
+    // next request.
+    VM->clearAbort();
+  }
+
+  Q.Done = true;
+  Q.Ok = R.Ok;
+  Q.TimedOut = R.TimedOut;
+  Q.Value = std::move(R.Value);
+  if (Escalated) {
+    Q.Ok = false;
+    Q.TimedOut = true;
+    Q.Value = "RequestTimeout: abort not honored within grace; shard " +
+              std::to_string(Config.Index) +
+              " rebooting from its last committed checkpoint";
+  }
+  if (Q.TimedOut) {
+    Stats.DeadlineExpired.add();
+    DeadlineExpiredCount.fetch_add(1, std::memory_order_relaxed);
+  }
+  Stats.Requests.add();
+  if (!Q.Ok)
+    Stats.Errors.add();
+  RequestCount.fetch_add(1, std::memory_order_relaxed);
+  return !Escalated;
+}
+
+void Shard::watchdogMain() {
+  std::unique_lock<std::mutex> Lock(AbortMutex);
+  while (!WatchdogStop) {
+    WatchdogCv.wait_for(Lock, std::chrono::milliseconds(5));
+    if (WatchdogStop)
+      break;
+    if (InFlightDeadlineNs == 0)
+      continue;
+    uint64_t Now = Telemetry::nowNs();
+    if (Now < InFlightDeadlineNs)
+      continue;
+    if (!AbortArmed) {
+      AbortArmed = true;
+      ArmedToken = InFlightToken;
+      EscalateAtNs = Now + Config.AbortGraceMs * 1000000;
+      if (!StuckSim) {
+        // Normal path: the VM consumes this at its next bytecode
+        // boundary and unwinds with RequestTimeout. The in-VM deadline
+        // usually beats us to it; this catches evals stuck between
+        // bytecodes. The stuck drill skips delivery so the grace
+        // escalation below is what recovers the shard.
+        VM->requestAbort();
+        Stats.Aborts.add();
+        AbortCount.fetch_add(1, std::memory_order_relaxed);
+      }
+    } else if (!EscalateFired && ArmedToken == InFlightToken &&
+               Now >= EscalateAtNs) {
+      EscalateFired = true;
+      Stats.AbortsEscalated.add();
+      EscalatedCount.fetch_add(1, std::memory_order_relaxed);
+      // Stop flag, no join: the evaluation returns at its next poll and
+      // the shard thread reboots its VM on its own thread.
+      VM->requestStop();
+    }
+  }
 }
 
 void Shard::failFrom(Batch &B, size_t First) {
@@ -286,6 +418,7 @@ void Shard::courierMain() {
     auto B = std::make_unique<Batch>();
     if (!Batcher.takeBatch(*B, Config.MaxBatch))
       break; // closed and drained
+    Stats.QueuedNow.fetch_sub(B->size(), std::memory_order_relaxed);
     Stats.Batches.add();
     Stats.BatchSize.record(B->size());
     chaos::point("serve.courier.send");

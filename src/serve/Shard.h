@@ -36,6 +36,20 @@
 /// BlockedRegion, so its periodic Checkpointer can stop that VM's world
 /// between batches.
 ///
+/// Deadlines: each shard runs a watchdog thread. The shard thread
+/// publishes the in-flight request's deadline (under AbortMutex) around
+/// every evaluation; when the watchdog sees it expire it arms the VM's
+/// asynchronous abort, and the runaway unwinds with a catchable
+/// RequestTimeout error at its next bytecode boundary. If the VM does not
+/// honor the abort within AbortGraceMs (a wedged primitive — simulated by
+/// the `serve.abort.stuck` fail point suppressing the abort), the
+/// watchdog escalates: VirtualMachine::requestStop() makes the evaluation
+/// return, the shard thread observes the stop flag and walks the same
+/// crash/reboot ladder as `serve.shard.crash`. Requests whose deadline
+/// already expired while queued are answered ERR without evaluating. The
+/// `serve.request.stall` fail point rewrites an eval into a runaway
+/// `[true] whileTrue.` for storm tests.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef MST_SERVE_SHARD_H
@@ -75,6 +89,9 @@ struct ShardConfig {
   uint64_t CheckpointEveryMs = 0;
   /// Largest batch one IpcChannel send may carry.
   size_t MaxBatch = 256;
+  /// How long the deadline watchdog waits for the VM to honor an armed
+  /// abort before escalating to a shard reboot.
+  uint64_t AbortGraceMs = 250;
   VmConfig Vm = VmConfig::multiprocessor(1);
 };
 
@@ -118,6 +135,10 @@ public:
     uint64_t Batches = 0;    ///< batches this shard replied to
     uint64_t Checkpoints = 0;
     size_t QueueDepth = 0;   ///< requests waiting in the batcher
+    uint64_t OldestQueuedMs = 0; ///< age of the oldest queued request
+    uint64_t DeadlineExpired = 0; ///< deadlines that expired here
+    uint64_t Aborts = 0;          ///< in-VM aborts the watchdog armed
+    uint64_t AbortsEscalated = 0; ///< aborts escalated to a reboot
     std::string LastError;   ///< last boot/checkpoint failure, or empty
   };
   Health health();
@@ -127,10 +148,15 @@ public:
 private:
   void shardMain();
   void courierMain();
+  void watchdogMain();
   void bootVm();
   void restartVm(const char *Why);
   void teardownVm();
   void processBatch(Batch &B);
+  /// Runs one Eval request against the VM, with deadline/abort plumbing.
+  /// \returns false when the watchdog escalated and the caller must
+  /// reboot the VM.
+  bool evalRequest(QueuedRequest &Q);
   void failFrom(Batch &B, size_t First);
   void setState(const char *S);
   void noteError(const std::string &E);
@@ -143,6 +169,26 @@ private:
   IpcChannel Channel;
   std::thread ShardThread;
   std::thread CourierThread;
+  std::thread WatchdogThread;
+
+  /// The abort protocol between the shard thread and its watchdog. The
+  /// shard thread publishes the in-flight eval's deadline before running
+  /// it and clears it (plus any unconsumed VM abort) after; the watchdog
+  /// wakes on a coarse tick, arms the VM abort at expiry, and escalates
+  /// after the grace period. Everything below AbortMutex is guarded by
+  /// it; the VM pointer is only dereferenced by the watchdog while an
+  /// in-flight deadline is published, which the shard thread only does
+  /// while the VM is alive and evaluating.
+  std::mutex AbortMutex;
+  std::condition_variable WatchdogCv;
+  uint64_t InFlightDeadlineNs = 0; ///< 0 = nothing abortable in flight
+  uint64_t InFlightToken = 0;      ///< increments per published eval
+  uint64_t ArmedToken = 0;         ///< token the watchdog armed/escalated
+  bool AbortArmed = false;
+  bool EscalateFired = false;
+  bool StuckSim = false; ///< serve.abort.stuck drill: don't deliver
+  uint64_t EscalateAtNs = 0;
+  bool WatchdogStop = false; ///< set by stop() after the shard joined
 
   // Shard-thread-owned; other threads only observe the atomics below.
   std::unique_ptr<VirtualMachine> VM;
@@ -158,6 +204,9 @@ private:
   std::atomic<uint64_t> RequestCount{0};
   std::atomic<uint64_t> BatchCount{0};
   std::atomic<uint64_t> CheckpointCount{0};
+  std::atomic<uint64_t> DeadlineExpiredCount{0};
+  std::atomic<uint64_t> AbortCount{0};
+  std::atomic<uint64_t> EscalatedCount{0};
   /// Checkpoints taken by Checkpointers of earlier generations (each
   /// restart builds a fresh one). Shard thread only.
   uint64_t CkTakenBase = 0;

@@ -24,6 +24,7 @@ ShardPool::ShardPool(const PoolConfig &Config, Shard::ResponseSink Sink,
     C.KeepGenerations = Config.KeepGenerations;
     C.CheckpointEveryMs = Config.CheckpointEveryMs;
     C.MaxBatch = Config.MaxBatch;
+    C.AbortGraceMs = Config.AbortGraceMs;
     C.Vm = Config.Vm;
     Shards.push_back(std::make_unique<Shard>(C, Sink, Stats));
   }

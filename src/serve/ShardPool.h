@@ -36,6 +36,8 @@ struct PoolConfig {
   unsigned KeepGenerations = 2;
   uint64_t CheckpointEveryMs = 0;
   size_t MaxBatch = 256;
+  /// Watchdog grace before a dishonored abort escalates to a reboot.
+  uint64_t AbortGraceMs = 250;
   VmConfig Vm = VmConfig::multiprocessor(1);
 };
 

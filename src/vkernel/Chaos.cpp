@@ -104,7 +104,7 @@ uint64_t mixSeed(uint64_t Seed, uint64_t Ordinal) {
 /// visible whenever the entry is live. Each hit draws from a stream keyed
 /// by (arm seed, hit ordinal) — cross-thread timing decides which thread
 /// gets which ordinal, but the fail/pass *sequence* replays by seed.
-constexpr size_t MaxFailPoints = 8;
+constexpr size_t MaxFailPoints = 16;
 struct FailEntry {
   char Name[48] = {};
   std::atomic<uint32_t> Permille{0};
@@ -256,7 +256,9 @@ bool chaos::armFailFromEnv(uint64_t Seed) {
              {"MST_CHAOS_IO_WRITE_FAIL_PM", "io.write.fail"},
              {"MST_CHAOS_IO_FSYNC_FAIL_PM", "io.fsync.fail"},
              {"MST_CHAOS_SNAPSHOT_TRUNCATE_PM", "snapshot.truncate"},
-             {"MST_CHAOS_SHARD_CRASH_PM", "serve.shard.crash"}};
+             {"MST_CHAOS_SHARD_CRASH_PM", "serve.shard.crash"},
+             {"MST_CHAOS_REQUEST_STALL_PM", "serve.request.stall"},
+             {"MST_CHAOS_ABORT_STUCK_PM", "serve.abort.stuck"}};
   bool Any = false;
   for (auto &M : Map) {
     const char *S = std::getenv(M.Env);

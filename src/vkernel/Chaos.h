@@ -136,7 +136,7 @@ inline bool failPoint(const char *Point) {
 /// probability \p Permille / 1000, decided by a SplitMix64 stream derived
 /// from \p Seed — same seed, same decision sequence. Permille 1000 fails
 /// every hit; 0 disarms just this point. Re-arming resets the point's
-/// stream and failure count. At most 8 distinct points may be armed.
+/// stream and failure count. At most 16 distinct points may be armed.
 void armFail(const char *Point, uint32_t Permille, uint64_t Seed);
 
 /// Disarms every fail point. failPoint() returns to its one-load path;
@@ -149,10 +149,12 @@ uint64_t failCount(const char *Point);
 /// Reads MST_CHAOS_ALLOC_FAIL_PM / MST_CHAOS_GROW_FAIL_PM /
 /// MST_CHAOS_STALL_PM / MST_CHAOS_IO_WRITE_FAIL_PM /
 /// MST_CHAOS_IO_FSYNC_FAIL_PM / MST_CHAOS_SNAPSHOT_TRUNCATE_PM /
-/// MST_CHAOS_SHARD_CRASH_PM and arms the corresponding fail points
+/// MST_CHAOS_SHARD_CRASH_PM / MST_CHAOS_REQUEST_STALL_PM /
+/// MST_CHAOS_ABORT_STUCK_PM and arms the corresponding fail points
 /// ("alloc.fail", "oldspace.grow.fail", "watchdog.stall",
 /// "io.write.fail", "io.fsync.fail", "snapshot.truncate",
-/// "serve.shard.crash") with \p Seed. The CI small-heap, snapfuzz, and
+/// "serve.shard.crash", "serve.request.stall",
+/// "serve.abort.stuck") with \p Seed. The CI small-heap, snapfuzz, and
 /// serve lanes use this to push fault injection into every stress binary
 /// without per-test plumbing.
 /// \returns true when at least one point was armed.

@@ -10,6 +10,7 @@
 #include <cstdlib>
 
 #include "obs/Profiler.h"
+#include "obs/Telemetry.h"
 #include "obs/TraceBuffer.h"
 #include "support/Assert.h"
 #include "support/Timer.h"
@@ -525,14 +526,32 @@ RunResult Interpreter::interpretSlice(uint64_t MaxBytecodes) {
       writeBackIp();
       return RunResult::Stopping;
     }
+    if (AbortFlag.load(std::memory_order_acquire)) {
+      AbortFlag.store(false, std::memory_order_relaxed);
+      Aborted = true;
+      writeBackIp();
+      vmError("RequestTimeout: execution aborted by watchdog");
+      return RunResult::Terminated;
+    }
     if (++Executed > MaxBytecodes) {
       writeBackIp();
       return RunResult::Yielded;
     }
-    if (TimedSlice && (Executed & 511) == 0 &&
-        threadCpuMicros() - SliceStartUs > SliceBudgetUs) {
-      writeBackIp();
-      return RunResult::Yielded;
+    if ((Executed & 511) == 0) {
+      // The deadline is armed even for untimed (driver) slices: a serve
+      // request runs as one runToCompletion call, and this is the only
+      // place a runaway `[true] whileTrue.` can be caught in-VM.
+      if (DeadlineNs != 0 && Telemetry::nowNs() >= DeadlineNs) {
+        Aborted = true;
+        writeBackIp();
+        vmError("RequestTimeout: request exceeded its deadline");
+        return RunResult::Terminated;
+      }
+      if (TimedSlice &&
+          threadCpuMicros() - SliceStartUs > SliceBudgetUs) {
+        writeBackIp();
+        return RunResult::Yielded;
+      }
     }
     ++BytecodeCount;
 
@@ -759,6 +778,7 @@ Oop Interpreter::runToCompletion(Oop Ctx) {
   Roots.ActiveContext = Ctx;
   Roots.PendingResult = Oop();
   Finished = Errored = FlagBlocked = FlagYield = false;
+  Aborted = false;
 
   for (;;) {
     RunResult R = interpretSlice(UINT64_MAX);

@@ -21,6 +21,7 @@
 #ifndef MST_VM_INTERPRETER_H
 #define MST_VM_INTERPRETER_H
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -72,6 +73,42 @@ public:
 
   uint64_t bytecodesExecuted() const { return BytecodeCount; }
   uint64_t sendsExecuted() const { return SendCount; }
+
+  /// --- asynchronous abort / deadlines -----------------------------------
+  ///
+  /// A watchdog on another thread can abort whatever this interpreter is
+  /// running: requestAbort() arms a flag the bytecode loop checks at the
+  /// same per-bytecode poll as the safepoint/stopping checks. The next
+  /// poll unwinds the running execution with a catchable RequestTimeout
+  /// error (heap and scheduler stay consistent — the abort only ever
+  /// fires at a bytecode boundary). The release store pairs with the
+  /// loop's acquire load; no other ordering is required because the abort
+  /// carries no payload, only the edge.
+  void requestAbort() {
+    AbortFlag.store(true, std::memory_order_release);
+  }
+
+  /// Drops any abort that is still pending (it arrived after the victim
+  /// finished on its own). Called between requests by the owner of the
+  /// abort protocol; never concurrently with the loop consuming it.
+  void clearAbort() {
+    AbortFlag.store(false, std::memory_order_relaxed);
+  }
+
+  /// Arms (non-zero) or disarms (0) an absolute deadline, in
+  /// Telemetry::nowNs time. Checked every 512 bytecodes even in untimed
+  /// driver slices; on expiry the execution unwinds exactly like
+  /// requestAbort(). Owner-thread only (the driver arms its own deadline
+  /// before running a request).
+  void setDeadlineNs(uint64_t Ns) { DeadlineNs = Ns; }
+
+  /// True — and self-clearing — when the last execution was unwound by
+  /// requestAbort() or a deadline expiry. Owner-thread only.
+  bool takeAborted() {
+    bool A = Aborted;
+    Aborted = false;
+    return A;
+  }
 
 private:
   // --- frame cache (refreshed after every GC point)
@@ -138,6 +175,12 @@ private:
   bool Errored = false;
   bool FlagBlocked = false;
   bool FlagYield = false;
+
+  // Asynchronous abort (set by any thread, consumed by the loop) and the
+  // owner-thread deadline/result bookkeeping around it.
+  std::atomic<bool> AbortFlag{false};
+  uint64_t DeadlineNs = 0;
+  bool Aborted = false;
 
   uint64_t BytecodeCount = 0;
   uint64_t SendCount = 0;

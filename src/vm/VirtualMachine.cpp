@@ -135,11 +135,22 @@ void VirtualMachine::startInterpreters() {
 }
 
 void VirtualMachine::shutdown() {
-  if (StopFlag.exchange(true))
-    return;
+  // No early-out on an already-set flag: requestStop() sets it without
+  // joining, and this call must still join the workers (joinAll is
+  // idempotent — already-joined threads are skipped).
+  StopFlag.store(true, std::memory_order_relaxed);
   Sched->notifyWork();
   Kernel.joinAll();
 }
+
+void VirtualMachine::requestStop() {
+  StopFlag.store(true, std::memory_order_relaxed);
+  Sched->notifyWork();
+}
+
+void VirtualMachine::requestAbort() { Driver->requestAbort(); }
+
+void VirtualMachine::clearAbort() { Driver->clearAbort(); }
 
 /// --- execution front door ----------------------------------------------
 
@@ -187,9 +198,25 @@ Oop VirtualMachine::compileAndRun(const std::string &Source) {
 
 VirtualMachine::EvalResult
 VirtualMachine::evaluate(const std::string &Source) {
+  return evalWithDeadline(Source, 0);
+}
+
+VirtualMachine::EvalResult
+VirtualMachine::evalWithDeadline(const std::string &Source,
+                                 uint64_t DeadlineNs) {
   if (Source.empty())
-    return {false, "empty source"};
+    return {false, "empty source", false};
   std::string Src = Source;
+  // Tolerate a trailing statement period ("[true] whileTrue.") — the doIt
+  // wrapper parenthesizes the source, where that period would turn the
+  // client's runaway into a parse error.
+  while (!Src.empty() && (Src.back() == ' ' || Src.back() == '\t' ||
+                          Src.back() == '\r' || Src.back() == '\n'))
+    Src.pop_back();
+  if (!Src.empty() && Src.back() == '.')
+    Src.pop_back();
+  if (Src.empty())
+    return {false, "empty source", false};
   if (Src[0] != '^' && Src[0] != '|')
     Src = "^(" + Src + ") printString";
   size_t Mark;
@@ -197,7 +224,11 @@ VirtualMachine::evaluate(const std::string &Source) {
     std::lock_guard<std::mutex> Guard(ErrorMutex);
     Mark = ErrorLog.size();
   }
+  (void)Driver->takeAborted(); // drop stale state from non-evaluate runs
+  Driver->setDeadlineNs(DeadlineNs);
   Oop R = compileAndRun(Src);
+  Driver->setDeadlineNs(0);
+  bool TimedOut = Driver->takeAborted();
   if (R.isNull()) {
     // Collect (and drop) the diagnostics this evaluation appended. Only
     // the driver thread runs evaluate, so entries past Mark are ours —
@@ -211,11 +242,11 @@ VirtualMachine::evaluate(const std::string &Source) {
       Msg += ErrorLog[I];
     }
     ErrorLog.resize(Mark);
-    return {false, Msg.empty() ? "evaluation failed" : Msg};
+    return {false, Msg.empty() ? "evaluation failed" : Msg, TimedOut};
   }
   if (R.isPointer() && R.object()->Format == ObjectFormat::Bytes)
-    return {true, ObjectModel::stringValue(R)};
-  return {true, Om->describe(R)};
+    return {true, ObjectModel::stringValue(R), false};
+  return {true, Om->describe(R), false};
 }
 
 Oop VirtualMachine::forkDoIt(const std::string &Source, int Priority,

@@ -80,3 +80,20 @@ TEST(RequestBatcher, CloseWakesBlockedCourier) {
   EXPECT_FALSE(B.takeBatch(Out, 256));
   Closer.join();
 }
+
+TEST(RequestBatcher, OldestEnqueueNsTracksTheQueueFront) {
+  RequestBatcher B;
+  EXPECT_EQ(B.oldestEnqueueNs(), 0u); // empty queue: no waiting request
+
+  QueuedRequest A = req(1, 0);
+  A.EnqueueNs = 1000;
+  QueuedRequest C = req(1, 1);
+  C.EnqueueNs = 2000;
+  ASSERT_TRUE(B.push(A));
+  ASSERT_TRUE(B.push(C));
+  EXPECT_EQ(B.oldestEnqueueNs(), 1000u); // FIFO front is the oldest
+
+  Batch Out;
+  ASSERT_TRUE(B.takeBatch(Out, 256));
+  EXPECT_EQ(B.oldestEnqueueNs(), 0u); // drained
+}

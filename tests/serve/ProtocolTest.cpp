@@ -35,6 +35,32 @@ TEST(ServeProtocol, ParseTaggedEval) {
   EXPECT_EQ(R.Source, "1 + 1");
 }
 
+TEST(ServeProtocol, ParseDeadlineOption) {
+  Request R = parseRequestLine("@t7?deadline=50 3 + 4");
+  EXPECT_EQ(R.K, Request::Kind::Eval);
+  EXPECT_EQ(R.Tag, "@t7"); // the option is stripped from the echo tag
+  EXPECT_EQ(R.DeadlineMs, 50u);
+  EXPECT_EQ(R.Source, "3 + 4");
+
+  // Anonymous deadline: `@?deadline=MS` carries no echo tag.
+  Request A = parseRequestLine("@?deadline=120 1 + 1");
+  EXPECT_EQ(A.K, Request::Kind::Eval);
+  EXPECT_TRUE(A.Tag.empty());
+  EXPECT_EQ(A.DeadlineMs, 120u);
+
+  // No option: DeadlineMs stays 0 (server default applies).
+  Request N = parseRequestLine("@t1 2 + 2");
+  EXPECT_EQ(N.DeadlineMs, 0u);
+}
+
+TEST(ServeProtocol, ParseDeadlineOptionMalformed) {
+  EXPECT_EQ(parseRequestLine("@t7?deadline= 1 + 1").K, Request::Kind::Bad);
+  EXPECT_EQ(parseRequestLine("@t7?deadline=abc 1 + 1").K,
+            Request::Kind::Bad);
+  EXPECT_EQ(parseRequestLine("@t7?foo=1 1 + 1").K, Request::Kind::Bad);
+  EXPECT_FALSE(parseRequestLine("@t7?foo=1 1 + 1").Error.empty());
+}
+
 TEST(ServeProtocol, ParseEscapedEvalSource) {
   // A multi-line doIt travels escaped and parses back to real newlines.
   Request R = parseRequestLine("| x |\\n x := 3.\\n ^x");

@@ -150,6 +150,126 @@ TEST(ServeChaos, SessionChurnSurvivesShardCrashStorm) {
   EXPECT_TRUE(S.waitStopped(240.0));
 }
 
+TEST(ServeChaos, StuckAbortEscalatesToShardReboot) {
+  std::string DataDir = makeTempDir();
+  ServerConfig Config = testServerConfig(2, DataDir);
+  Config.Pool.AbortGraceMs = 300;
+  Server S(std::move(Config));
+  std::string Error;
+  ASSERT_TRUE(S.start(Error)) << Error;
+
+  Client C;
+  ASSERT_TRUE(C.connect(S.port())); // session 0 -> shard 0
+  bool Ok = false;
+  std::string Value;
+  ASSERT_TRUE(C.eval("Smalltalk at: #S put: 7", Ok, Value, 240.0));
+  ASSERT_TRUE(Ok);
+  ASSERT_TRUE(C.sendLine("!checkpoint"));
+  for (int I = 0; I < 2; ++I) {
+    std::string Line;
+    ASSERT_TRUE(C.recvLine(Line, 240.0));
+  }
+
+  // Simulate a primitive that never reaches a bytecode boundary: the
+  // abort cannot land, so after the grace period the watchdog escalates
+  // and the shard walks the crash ladder instead of staying wedged.
+  chaos::armFail("serve.abort.stuck", 1000, 42);
+  ASSERT_TRUE(C.eval("@?deadline=200 [true] whileTrue.", Ok, Value,
+                     240.0));
+  chaos::disarmFail();
+  EXPECT_FALSE(Ok);
+  EXPECT_NE(Value.find("abort not honored"), std::string::npos) << Value;
+
+  // The reboot restored the committed checkpoint and the shard serves.
+  ASSERT_TRUE(C.eval("Smalltalk at: #S", Ok, Value, 240.0));
+  EXPECT_TRUE(Ok) << Value;
+  EXPECT_EQ(Value, "7");
+
+  auto Health = S.pool().health();
+  EXPECT_EQ(Health[0].Restarts, 1u);
+  EXPECT_EQ(Health[0].AbortsEscalated, 1u);
+  EXPECT_EQ(Health[1].Restarts, 0u);
+  for (const auto &H : Health)
+    EXPECT_EQ(H.State, "serving");
+  S.stop();
+  EXPECT_TRUE(S.waitStopped(240.0));
+}
+
+TEST(ServeChaos, RequestStallStormAbortsRunawaysAndKeepsServing) {
+  std::string DataDir = makeTempDir();
+  ServerConfig Config = testServerConfig(2, DataDir);
+  Config.RequestDeadlineMs = 300;  // default deadline for every eval
+  Config.Pool.AbortGraceMs = 2000; // aborts land; escalation is backup
+  Server S(std::move(Config));
+  std::string Error;
+  ASSERT_TRUE(S.start(Error)) << Error;
+
+  {
+    Client C;
+    ASSERT_TRUE(C.connect(S.port()));
+    ASSERT_TRUE(C.sendLine("!checkpoint"));
+    for (unsigned I = 0; I < 2; ++I) {
+      std::string Line;
+      ASSERT_TRUE(C.recvLine(Line, 240.0));
+    }
+  }
+
+  std::atomic<uint64_t> Oks{0}, Errs{0};
+  std::atomic<bool> Failed{false};
+  uint64_t Stalls = 0;
+  {
+    // The CI serve lane arms MST_CHAOS_REQUEST_STALL_PM (and optionally
+    // MST_CHAOS_ABORT_STUCK_PM, exercising the escalation ladder);
+    // standalone runs arm the stall point themselves: ~8% of evals are
+    // rewritten into `[true] whileTrue.` runaways that must be aborted
+    // by the deadline machinery, never wedging their shard.
+    uint64_t Seed = chaosSeeds().front();
+    SCOPED_TRACE(seedTag(Seed));
+    ScopedChaos Chaos(Seed);
+    if (!std::getenv("MST_CHAOS_REQUEST_STALL_PM"))
+      chaos::armFail("serve.request.stall", 80, Seed);
+
+    std::vector<std::thread> Workers;
+    for (int W = 0; W < 3; ++W)
+      Workers.emplace_back([&, W] {
+        churn(S.port(), stressScale(6, 4) + W, Oks, Errs, Failed);
+      });
+    for (auto &T : Workers)
+      T.join();
+    Stalls = chaos::failCount("serve.request.stall");
+  }
+
+  EXPECT_FALSE(Failed) << "a session saw a transport failure or wedged";
+  EXPECT_GT(Oks.load(), 0u);
+  EXPECT_GT(Stalls, 0u) << "the storm never injected a runaway";
+  EXPECT_GT(Errs.load(), 0u) << "stalled evals must answer ERR";
+
+  // No shard is wedged: every shard serves fresh sessions, and the
+  // deadline machinery (not luck) is what killed the runaways.
+  uint64_t Expired = 0, Escalated = 0;
+  for (const auto &H : S.pool().health()) {
+    EXPECT_EQ(H.State, "serving");
+    Expired += H.DeadlineExpired;
+    Escalated += H.AbortsEscalated;
+  }
+  EXPECT_GT(Expired, 0u);
+  if (std::getenv("MST_CHAOS_ABORT_STUCK_PM") && Stalls > 0) {
+    EXPECT_GT(Escalated, 0u) << "stuck aborts must escalate, not wedge";
+  }
+
+  for (int I = 0; I < 2; ++I) {
+    Client C;
+    ASSERT_TRUE(C.connect(S.port()));
+    bool Ok = false;
+    std::string Value;
+    ASSERT_TRUE(C.eval("6 * 7", Ok, Value, 240.0));
+    EXPECT_TRUE(Ok) << Value;
+    EXPECT_EQ(Value, "42");
+  }
+  S.stop();
+  EXPECT_TRUE(S.waitStopped(240.0));
+}
+
 TEST(ServeChaos, AdminKillStormKeepsOtherShardServing) {
   std::string DataDir = makeTempDir();
   Server S(testServerConfig(2, DataDir));

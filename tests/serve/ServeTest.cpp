@@ -14,6 +14,8 @@
 
 #include <unistd.h>
 
+#include <chrono>
+
 #include <gtest/gtest.h>
 
 #include "image/Snapshot.h"
@@ -152,6 +154,18 @@ TEST_F(ServeTest, HealthReportsEveryShardServing) {
   EXPECT_NE(Json.find("\"serve.sessions.active\""), std::string::npos);
   EXPECT_NE(Json.find("\"serve.batch.size\""), std::string::npos);
   EXPECT_NE(Json.find("\"serve.latency\""), std::string::npos);
+  // Overload-control surface: per-shard gate + deadline counters plus
+  // the new telemetry instruments.
+  EXPECT_NE(Json.find("\"breaker\":\"closed\""), std::string::npos);
+  EXPECT_NE(Json.find("\"outstanding\":"), std::string::npos);
+  EXPECT_NE(Json.find("\"oldest_queued_ms\":"), std::string::npos);
+  EXPECT_NE(Json.find("\"deadline_expired\":"), std::string::npos);
+  EXPECT_NE(Json.find("\"aborts\":"), std::string::npos);
+  EXPECT_NE(Json.find("\"aborts_escalated\":"), std::string::npos);
+  EXPECT_NE(Json.find("\"serve.queue.depth\""), std::string::npos);
+  EXPECT_NE(Json.find("\"serve.queue.wait\""), std::string::npos);
+  EXPECT_NE(Json.find("\"serve.shed\""), std::string::npos);
+  EXPECT_NE(Json.find("\"serve.deadline.expired\""), std::string::npos);
 }
 
 TEST_F(ServeTest, CheckpointWritesEveryShardImage) {
@@ -264,6 +278,197 @@ TEST_F(ServeTest, ProtocolErrorsAnswerWithoutKillingTheServer) {
   ASSERT_TRUE(C.eval("41 + 1", Ok, Value));
   EXPECT_TRUE(Ok);
   EXPECT_EQ(Value, "42");
+}
+
+// --- Deadlines, runaway abort, and overload control ----------------------
+
+TEST(ServeDeadline, RunawayAnswersErrWithinTwiceTheDeadline) {
+  std::string DataDir = makeTempDir();
+  ServerConfig Config = testServerConfig(2, DataDir);
+  Config.Pool.AbortGraceMs = 10000; // abort must win, never escalation
+  Server S(std::move(Config));
+  std::string Error;
+  ASSERT_TRUE(S.start(Error)) << Error;
+
+  Client A, B, C;
+  ASSERT_TRUE(A.connect(S.port())); // session 0 -> shard 0
+  ASSERT_TRUE(B.connect(S.port())); // session 1 -> shard 1
+  ASSERT_TRUE(C.connect(S.port())); // session 2 -> shard 0, like A
+
+  auto T0 = std::chrono::steady_clock::now();
+  ASSERT_TRUE(A.sendLine("@r?deadline=500 [true] whileTrue."));
+  ASSERT_TRUE(C.sendLine("@c 6 * 7")); // queues behind the runaway
+
+  // The other shard serves while shard 0 burns its runaway.
+  bool Ok = false;
+  std::string Value;
+  ASSERT_TRUE(B.eval("10 * 10", Ok, Value, 240.0));
+  EXPECT_TRUE(Ok);
+  EXPECT_EQ(Value, "100");
+
+  // Acceptance: the runaway answers ERR within 2x its deadline.
+  std::string Line, Tag;
+  ASSERT_TRUE(A.recvLine(Line, 240.0));
+  auto ElapsedMs = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - T0)
+                       .count();
+  ASSERT_TRUE(parseResponseLine(Line, Ok, Tag, Value));
+  EXPECT_FALSE(Ok);
+  EXPECT_EQ(Tag, "@r");
+  EXPECT_NE(Value.find("RequestTimeout"), std::string::npos) << Value;
+  EXPECT_LT(ElapsedMs, 1000) << "abort overshot 2x the 500ms deadline";
+
+  // The same shard keeps serving: C's queued request answers, and both
+  // sessions stay usable — no shard reboot happened.
+  ASSERT_TRUE(C.recvLine(Line, 240.0));
+  ASSERT_TRUE(parseResponseLine(Line, Ok, Tag, Value));
+  EXPECT_TRUE(Ok) << Value;
+  EXPECT_EQ(Value, "42");
+  ASSERT_TRUE(A.eval("1 + 1", Ok, Value, 240.0));
+  EXPECT_TRUE(Ok);
+  EXPECT_EQ(Value, "2");
+
+  auto Health = S.pool().health();
+  EXPECT_EQ(Health[0].Restarts, 0u);
+  EXPECT_GE(Health[0].DeadlineExpired, 1u);
+  S.stop();
+}
+
+TEST(ServeOverload, QueueBudgetShedsAndRetrySucceeds) {
+  std::string DataDir = makeTempDir();
+  ServerConfig Config = testServerConfig(1, DataDir);
+  Config.QueueBudget = 2;
+  Config.BreakerThreshold = 0; // isolate admission control
+  Config.Pool.AbortGraceMs = 10000;
+  Server S(std::move(Config));
+  std::string Error;
+  ASSERT_TRUE(S.start(Error)) << Error;
+
+  Client C;
+  ASSERT_TRUE(C.connect(S.port()));
+
+  // Wedge the shard, then overflow the 2-deep budget: the overflow must
+  // fast-fail ERR overloaded instead of queueing without bound.
+  ASSERT_TRUE(C.sendLine("@r?deadline=800 [true] whileTrue."));
+  const int N = 6;
+  for (int I = 0; I < N; ++I)
+    ASSERT_TRUE(C.sendLine("@q" + std::to_string(I) + " 1 + " +
+                           std::to_string(I)));
+
+  int Shed = 0, Served = 0, TimedOut = 0;
+  for (int I = 0; I < N + 1; ++I) {
+    std::string Line, Tag, Value;
+    bool Ok = false;
+    ASSERT_TRUE(C.recvLine(Line, 240.0));
+    ASSERT_TRUE(parseResponseLine(Line, Ok, Tag, Value));
+    if (Ok)
+      ++Served;
+    else if (Value.find("overloaded") != std::string::npos)
+      ++Shed;
+    else if (Value.find("RequestTimeout") != std::string::npos)
+      ++TimedOut;
+  }
+  EXPECT_EQ(TimedOut, 1); // the runaway
+  EXPECT_GE(Shed, 1) << "budget never shed";
+  EXPECT_GE(Served, 1) << "admitted requests must still answer";
+  EXPECT_GE(S.stats().Shed.value(), 1u);
+
+  // Once the shard drains, a backoff-retried request gets through.
+  bool Ok = false;
+  std::string Value;
+  ASSERT_TRUE(C.evalRetry("2 + 2", Ok, Value, 240.0));
+  EXPECT_TRUE(Ok) << Value;
+  EXPECT_EQ(Value, "4");
+  EXPECT_EQ(S.pool().health()[0].Restarts, 0u);
+  S.stop();
+}
+
+TEST(ServeOverload, BreakerOpensAfterConsecutiveExpiriesAndRecloses) {
+  std::string DataDir = makeTempDir();
+  ServerConfig Config = testServerConfig(1, DataDir);
+  Config.BreakerThreshold = 2;
+  Config.BreakerOpenMs = 400;
+  Config.QueueBudget = 0; // isolate the breaker
+  Config.Pool.AbortGraceMs = 10000;
+  Server S(std::move(Config));
+  std::string Error;
+  ASSERT_TRUE(S.start(Error)) << Error;
+
+  Client C;
+  ASSERT_TRUE(C.connect(S.port()));
+  bool Ok = false;
+  std::string Value;
+
+  // Two consecutive deadline expiries trip the breaker.
+  for (int I = 0; I < 2; ++I) {
+    ASSERT_TRUE(C.eval("@?deadline=150 [true] whileTrue.", Ok, Value,
+                       240.0));
+    EXPECT_FALSE(Ok);
+    EXPECT_NE(Value.find("RequestTimeout"), std::string::npos) << Value;
+  }
+
+  // Open: evaluations shed instantly, and health says so.
+  ASSERT_TRUE(C.eval("1 + 1", Ok, Value, 240.0));
+  EXPECT_FALSE(Ok);
+  EXPECT_NE(Value.find("circuit breaker open"), std::string::npos)
+      << Value;
+  std::string Json;
+  ASSERT_TRUE(C.eval("!health", Ok, Json));
+  ASSERT_TRUE(Ok);
+  EXPECT_NE(Json.find("\"breaker\":\"open\""), std::string::npos);
+
+  // evalRetry backs off past the open window; its attempt becomes the
+  // half-open probe, succeeds, and recloses the breaker.
+  ASSERT_TRUE(C.evalRetry("2 + 3", Ok, Value, 240.0, 12, 20));
+  EXPECT_TRUE(Ok) << Value;
+  EXPECT_EQ(Value, "5");
+  ASSERT_TRUE(C.eval("3 + 4", Ok, Value, 240.0));
+  EXPECT_TRUE(Ok) << Value;
+  EXPECT_EQ(Value, "7");
+  ASSERT_TRUE(C.eval("!health", Ok, Json));
+  ASSERT_TRUE(Ok);
+  EXPECT_NE(Json.find("\"breaker\":\"closed\""), std::string::npos);
+  EXPECT_GE(S.stats().BreakerOpen.value(), 1u);
+  S.stop();
+}
+
+TEST(ServeDrainDeadline, QueuedRequestsGetCleanErrAtTheDrainDeadline) {
+  std::string DataDir = makeTempDir();
+  ServerConfig Config = testServerConfig(1, DataDir);
+  Config.DrainTimeoutSec = 1.0;
+  Config.Pool.AbortGraceMs = 10000;
+  Server S(std::move(Config));
+  std::string Error;
+  ASSERT_TRUE(S.start(Error)) << Error;
+
+  Client C;
+  ASSERT_TRUE(C.connect(S.port()));
+
+  // Wedge the shard past the drain deadline, queue work behind it, then
+  // drain: the unanswerable requests must get a clean ERR (not a dropped
+  // connection) and the server must still exit.
+  ASSERT_TRUE(C.sendLine("@r?deadline=2500 [true] whileTrue."));
+  for (int I = 0; I < 3; ++I)
+    ASSERT_TRUE(C.sendLine("@q" + std::to_string(I) + " 1 + 1"));
+  ASSERT_TRUE(C.sendLine("!drain"));
+
+  int DrainAcks = 0, Expired = 0, Other = 0;
+  std::string Line, Tag, Value;
+  bool Ok = false;
+  while (C.recvLine(Line, 240.0)) {
+    ASSERT_TRUE(parseResponseLine(Line, Ok, Tag, Value));
+    if (Ok && Value == "draining")
+      ++DrainAcks;
+    else if (!Ok && Value.find("draining") != std::string::npos)
+      ++Expired;
+    else
+      ++Other;
+  }
+  EXPECT_EQ(DrainAcks, 1);
+  EXPECT_EQ(Expired, 4) << "runaway + 3 queued requests";
+  EXPECT_EQ(Other, 0);
+  EXPECT_TRUE(S.waitStopped(240.0));
+  S.stop();
 }
 
 } // namespace

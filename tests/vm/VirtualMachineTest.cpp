@@ -4,7 +4,11 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include <chrono>
+#include <thread>
+
 #include "TestVm.h"
+#include "obs/Telemetry.h"
 
 using namespace mst;
 
@@ -87,6 +91,61 @@ TEST(VirtualMachineTest, StatisticsReportOnFreshVm) {
   std::string R = T.vm().statisticsReport();
   EXPECT_NE(R.find("instrumentation report"), std::string::npos);
   EXPECT_NE(R.find("method cache"), std::string::npos);
+}
+
+TEST(VirtualMachineTest, EvalWithDeadlineAbortsRunaway) {
+  TestVm T;
+  uint64_t Deadline = Telemetry::nowNs() + 200ull * 1000 * 1000;
+  auto R = T.vm().evalWithDeadline("[true] whileTrue.", Deadline);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_TRUE(R.TimedOut);
+  EXPECT_NE(R.Value.find("RequestTimeout"), std::string::npos) << R.Value;
+  // The abort fired at a bytecode boundary: the heap and scheduler are
+  // intact and the VM keeps answering.
+  auto After = T.vm().evaluate("3 + 4");
+  EXPECT_TRUE(After.Ok) << After.Value;
+  EXPECT_EQ(After.Value, "7");
+  EXPECT_FALSE(After.TimedOut);
+}
+
+TEST(VirtualMachineTest, EvalWithDeadlineLeavesQuickEvalsAlone) {
+  TestVm T;
+  uint64_t Deadline = Telemetry::nowNs() + 30ull * 1000 * 1000 * 1000;
+  auto R = T.vm().evalWithDeadline("6 * 7", Deadline);
+  EXPECT_TRUE(R.Ok) << R.Value;
+  EXPECT_EQ(R.Value, "42");
+  EXPECT_FALSE(R.TimedOut);
+  // The deadline does not leak into the next (undeadlined) evaluation.
+  auto Next = T.vm().evaluate("1 + 1");
+  EXPECT_TRUE(Next.Ok);
+  EXPECT_FALSE(Next.TimedOut);
+}
+
+TEST(VirtualMachineTest, RequestAbortFromAnotherThreadUnwinds) {
+  TestVm T;
+  std::thread Watchdog([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    T.vm().requestAbort();
+  });
+  auto R = T.vm().evaluate("[true] whileTrue");
+  Watchdog.join();
+  EXPECT_FALSE(R.Ok);
+  EXPECT_TRUE(R.TimedOut);
+  EXPECT_NE(R.Value.find("RequestTimeout"), std::string::npos) << R.Value;
+  auto After = T.vm().evaluate("2 + 2");
+  EXPECT_TRUE(After.Ok) << After.Value;
+  EXPECT_EQ(After.Value, "4");
+}
+
+TEST(VirtualMachineTest, ClearAbortDropsAPendingAbort) {
+  TestVm T;
+  // An abort requested between requests must not kill the next one.
+  T.vm().requestAbort();
+  T.vm().clearAbort();
+  auto R = T.vm().evaluate("5 * 5");
+  EXPECT_TRUE(R.Ok) << R.Value;
+  EXPECT_EQ(R.Value, "25");
+  EXPECT_FALSE(R.TimedOut);
 }
 
 TEST(VirtualMachineTest, DriverRootsAreGcSafe) {
