@@ -17,6 +17,15 @@
 /// deadline (ERR RequestTimeout, no shard reboot), bounded accepted-
 /// request p99, and the victim shard still serving afterwards.
 ///
+/// The whole bench runs with `--journal` semantics (write-ahead request
+/// journal on), so phase 1's steady-state req/s prices the once-per-batch
+/// journal fsync against the unjournaled baseline. A third phase then
+/// crashes shards under load carried by `!session`-bound clients running
+/// seq'd increments, and gates on ZERO acknowledged-request loss: every
+/// session's counter must equal exactly the number of OK-acknowledged
+/// increments after the kill storm — replay and the dedup table, priced
+/// and verified under fire.
+///
 ///   bench_serve --json-out=OUT.json --image=prewarmed.image
 ///
 /// Scaled by MST_BENCH_SCALE (sessions and rounds; the session count
@@ -186,6 +195,9 @@ int main(int argc, char **argv) {
   // matters if an abort fails to land (escalation is a storm failure).
   Config.QueueBudget = 1024;
   Config.Pool.AbortGraceMs = 2000;
+  // Durability on for the whole run: phase 1's headline req/s includes
+  // the once-per-batch journal fsync, phase 3 gates on replay + dedup.
+  Config.Pool.Journal = true;
   Server S(Config);
   std::string Error;
   if (!S.start(Error)) {
@@ -385,6 +397,128 @@ int main(int argc, char **argv) {
                  ShardServes, AcceptedP99);
   Pass = Pass && StormPass;
 
+  // --- Phase 3: crash-under-load durability gate -------------------------
+  // Bound sessions run seq'd increments on private counters while an
+  // admin thread keeps killing shards. Every OK the server hands out is a
+  // durability promise; at the end each counter must equal exactly the
+  // session's OK-acknowledged increment count. One lost acknowledged
+  // request (reads low) or one double-applied replay (reads high) fails
+  // the bench.
+  const size_t CrashSessions =
+      std::max<size_t>(16, static_cast<size_t>(64 * Scale));
+  const int CrashIncrements = 6;
+  std::atomic<uint64_t> CrashAcked{0}, CrashMismatches{0},
+      CrashTransport{0}, CrashDone{0};
+  uint64_t CrashRestartsBefore = 0;
+  for (const auto &H : S.pool().health())
+    CrashRestartsBefore += H.Restarts;
+  auto CrashStart = std::chrono::steady_clock::now();
+  {
+    std::atomic<bool> StopKiller{false};
+    std::thread Killer([&] {
+      Client K;
+      if (!K.connect(S.port()))
+        return;
+      unsigned Victim = 0;
+      while (!StopKiller) {
+        bool Ok = false;
+        std::string Value;
+        if (!K.eval("!kill " + std::to_string(Victim++ % Shards), Ok,
+                    Value, 600.0))
+          return;
+        std::this_thread::sleep_for(std::chrono::milliseconds(150));
+      }
+    });
+    std::vector<std::thread> CrashWorkers;
+    for (unsigned W = 0; W < Threads; ++W)
+      CrashWorkers.emplace_back([&, W] {
+        for (size_t I = W; I < CrashSessions; I += Threads) {
+          uint64_t Id = 50000 + I;
+          std::string Var = "#D" + std::to_string(Id);
+          Client C;
+          if (!C.connect(S.port()) || !C.bindSession(Id)) {
+            ++CrashTransport;
+            continue;
+          }
+          bool Ok = false;
+          std::string Value;
+          if (!C.evalRetry("Smalltalk at: " + Var + " put: 0", Ok, Value,
+                           600.0, 12, 10)) {
+            ++CrashTransport;
+            continue;
+          }
+          if (!Ok)
+            continue;
+          uint64_t Acked = 0;
+          bool Lost = false;
+          for (int R = 0; R < CrashIncrements; ++R) {
+            if (!C.evalRetry("Smalltalk at: " + Var +
+                                 " put: (Smalltalk at: " + Var + ") + 1",
+                             Ok, Value, 600.0, 12, 10)) {
+              ++CrashTransport;
+              Lost = true;
+              break;
+            }
+            if (Ok)
+              ++Acked;
+          }
+          if (Lost)
+            continue;
+          if (!C.evalRetry("Smalltalk at: " + Var, Ok, Value, 600.0, 12,
+                           10)) {
+            ++CrashTransport;
+            continue;
+          }
+          if (Ok && Value != std::to_string(Acked))
+            ++CrashMismatches;
+          CrashAcked += Acked;
+          ++CrashDone;
+        }
+      });
+    for (auto &T : CrashWorkers)
+      T.join();
+    StopKiller = true;
+    Killer.join();
+  }
+  double CrashWallMs = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - CrashStart)
+                           .count();
+  uint64_t CrashRestartsAfter = 0, Replayed = 0, DedupHits = 0;
+  bool CrashAllServing = true;
+  for (const auto &H : S.pool().health()) {
+    CrashRestartsAfter += H.Restarts;
+    Replayed += H.Replayed;
+    DedupHits += H.DedupHits;
+    CrashAllServing = CrashAllServing && H.State == "serving";
+  }
+  uint64_t CrashKills = CrashRestartsAfter - CrashRestartsBefore;
+  bool CrashPass = CrashMismatches == 0 && CrashTransport == 0 &&
+                   CrashDone > 0 && CrashAcked > 0 && CrashKills >= 1 &&
+                   Replayed >= 1 && CrashAllServing;
+  std::printf("bench_serve: crash-under-load sessions=%llu acked=%llu "
+              "kills=%llu replayed=%llu dedup_hits=%llu mismatches=%llu "
+              "wall=%.0fms %s\n",
+              static_cast<unsigned long long>(CrashDone.load()),
+              static_cast<unsigned long long>(CrashAcked.load()),
+              static_cast<unsigned long long>(CrashKills),
+              static_cast<unsigned long long>(Replayed),
+              static_cast<unsigned long long>(DedupHits),
+              static_cast<unsigned long long>(CrashMismatches.load()),
+              CrashWallMs, CrashPass ? "PASS" : "FAILED");
+  if (!CrashPass)
+    std::fprintf(stderr,
+                 "bench_serve: durability gate FAILED (done=%llu "
+                 "acked=%llu mismatches=%llu transport=%llu kills=%llu "
+                 "replayed=%llu serving=%d)\n",
+                 static_cast<unsigned long long>(CrashDone.load()),
+                 static_cast<unsigned long long>(CrashAcked.load()),
+                 static_cast<unsigned long long>(CrashMismatches.load()),
+                 static_cast<unsigned long long>(CrashTransport.load()),
+                 static_cast<unsigned long long>(CrashKills),
+                 static_cast<unsigned long long>(Replayed),
+                 CrashAllServing);
+  Pass = Pass && CrashPass;
+
   Telemetry::Snapshot Final = Telemetry::snapshot();
   if (!Flags.JsonOut.empty()) {
     std::ofstream Out(Flags.JsonOut);
@@ -416,6 +550,15 @@ int main(int argc, char **argv) {
         << "    \"restarts_during_storm\": "
         << (RestartsAfter - RestartsBefore) << ",\n"
         << "    \"pass\": " << (StormPass ? "true" : "false") << "\n"
+        << "  },\n  \"phase3\": {\n"
+        << "    \"sessions\": " << CrashDone.load() << ",\n"
+        << "    \"acked\": " << CrashAcked.load() << ",\n"
+        << "    \"mismatches\": " << CrashMismatches.load() << ",\n"
+        << "    \"kills\": " << CrashKills << ",\n"
+        << "    \"replayed\": " << Replayed << ",\n"
+        << "    \"dedup_hits\": " << DedupHits << ",\n"
+        << "    \"wall_ms\": " << CrashWallMs << ",\n"
+        << "    \"pass\": " << (CrashPass ? "true" : "false") << "\n"
         << "  },\n  \"telemetry\": " << Telemetry::toJson(Final)
         << "\n}\n";
     std::printf("results written to %s\n", Flags.JsonOut.c_str());

@@ -42,6 +42,18 @@
 #                MST_CHAOS_ABORT_STUCK_PM (aborts that refuse to land)
 #                armed, gating that deadlines abort runaways, stuck
 #                aborts escalate to a shard reboot, and no shard wedges.
+#   journal-fuzz Address+UB sanitizers aimed at the write-ahead request
+#                journal: the WAL unit sweep (record CRC round-trips,
+#                torn-tail boundary repair, logical-position-preserving
+#                truncation, dedup-table bounds) and the journaled
+#                end-to-end tests, then the 200-session kill+tear storm
+#                twice — once with journal.tear + append/truncate
+#                failures armed (MST_CHAOS_JOURNAL_APPEND_FAIL_PM /
+#                MST_CHAOS_JOURNAL_TRUNCATE_FAIL_PM), once with
+#                journal.fsync.fail armed and the tear drill pinned off
+#                (MST_CHAOS_JOURNAL_FSYNC_FAIL_PM /
+#                MST_CHAOS_JOURNAL_TEAR_PM=0). Both gate on the tentpole
+#                invariant: zero acknowledged-request loss.
 #   profile      ASan+UBSan build with benches ON: bench_table2 runs with
 #                --profile, the folded flamegraph export must parse and
 #                name at least one Smalltalk selector, and a second
@@ -183,6 +195,40 @@ do_serve() {
     --output-on-failure -j "$JOBS"
 }
 
+do_journalfuzz() {
+  banner "journal-fuzz: ASan+UBSan, WAL sweep + kill/tear replay storms"
+  configure journal-fuzz RelWithDebInfo address,undefined
+  cmake --build build-ci/journal-fuzz -j "$JOBS" \
+    --target test_serve test_serve_stress
+  # Functional sweep: record CRC round-trips, torn-tail repair, logical
+  # truncation, dedup bounds, then the journaled end-to-end tests —
+  # replay on !kill, dedup answers for bound-session resends, and the
+  # checkpoint-commit-vs-truncation ordering regression.
+  ctest --test-dir build-ci/journal-fuzz -R 'JournalTest|ServeJournal' \
+    --output-on-failure -j "$JOBS"
+  # Kill+tear storm: the test arms journal.tear itself (800 permille);
+  # armFailFromEnv layers append and truncation failures on top. A
+  # failed append must refuse the request without executing it and a
+  # failed truncation must never un-commit a checkpoint — the gate stays
+  # zero acknowledged-request loss.
+  MST_CHAOS_JOURNAL_APPEND_FAIL_PM=${MST_CHAOS_JOURNAL_APPEND_FAIL_PM:-40} \
+  MST_CHAOS_JOURNAL_TRUNCATE_FAIL_PM=${MST_CHAOS_JOURNAL_TRUNCATE_FAIL_PM:-80} \
+  MST_CHAOS_SEED="${CHAOS_SEED:-1}" \
+    ctest --test-dir build-ci/journal-fuzz \
+    -R 'JournaledKillAndTearStorm' --output-on-failure -j "$JOBS"
+  # Fsync-failure storm: every sync lies (warn-and-continue), which an
+  # in-process reboot survives because the bytes are written, just not
+  # fsynced. The tear drill is pinned off — with syncs failing, the
+  # unsynced window can hold refusal outcomes, and tearing those models
+  # a loss the fsync policy explicitly trades away under power loss.
+  MST_CHAOS_JOURNAL_FSYNC_FAIL_PM=${MST_CHAOS_JOURNAL_FSYNC_FAIL_PM:-300} \
+  MST_CHAOS_JOURNAL_APPEND_FAIL_PM=${MST_CHAOS_JOURNAL_APPEND_FAIL_PM:-40} \
+  MST_CHAOS_JOURNAL_TEAR_PM=0 \
+  MST_CHAOS_SEED="${CHAOS_SEED:-1}" \
+    ctest --test-dir build-ci/journal-fuzz \
+    -R 'JournaledKillAndTearStorm' --output-on-failure -j "$JOBS"
+}
+
 do_profile() {
   banner "profile: ASan+UBSan benches, bench_table2 --profile + overhead gate"
   cmake -B build-ci/profile -S . \
@@ -262,7 +308,8 @@ PYEOF
 
 CONFIGS=("$@")
 if [ ${#CONFIGS[@]} -eq 0 ]; then
-  CONFIGS=(release debug-chaos tsan asan smallheap snapfuzz serve profile)
+  CONFIGS=(release debug-chaos tsan asan smallheap snapfuzz serve
+    journal-fuzz profile)
 fi
 
 for C in "${CONFIGS[@]}"; do
@@ -274,11 +321,12 @@ for C in "${CONFIGS[@]}"; do
   smallheap) do_smallheap ;;
   snapfuzz) do_snapfuzz ;;
   serve) do_serve ;;
+  journal-fuzz) do_journalfuzz ;;
   profile) do_profile ;;
   *)
     echo "unknown configuration: $C" \
       "(known: release debug-chaos tsan asan smallheap snapfuzz serve" \
-      "profile)" >&2
+      "journal-fuzz profile)" >&2
     exit 2
     ;;
   esac

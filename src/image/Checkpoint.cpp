@@ -64,6 +64,11 @@ Checkpointer::~Checkpointer() {
 bool Checkpointer::checkpointNow(std::string &Error) {
   SnapshotOptions SO;
   SO.KeepGenerations = Opts.KeepGenerations;
+  uint64_t Mark = 0;
+  if (Opts.JournalMark && Opts.JournalMark(Mark)) {
+    SO.HasJournalMark = true;
+    SO.JournalMark = Mark;
+  }
   if (!saveSnapshot(VM, Opts.Path, Error, SO)) {
     std::lock_guard<std::mutex> G(ErrMutex);
     LastError = Error;

@@ -21,6 +21,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -45,6 +46,13 @@ public:
     /// Register a Panic-funnel section that writes a best-effort
     /// emergency image to `<Path>.panic` when the VM panics.
     bool EmergencyOnPanic = true;
+    /// When set and it returns true, checkpointNow stamps the returned
+    /// request-journal high-water mark into the image (the JPOS section)
+    /// so the serving layer can replay past it and truncate below it.
+    /// The provider runs on the checkpointing thread; the serving layer
+    /// only installs it on shards whose periodic thread is disabled, so
+    /// the mark is always read at a batch boundary.
+    std::function<bool(uint64_t &)> JournalMark;
   };
 
   Checkpointer(VirtualMachine &VM, Options Opts);

@@ -678,12 +678,21 @@ const std::vector<MethodDef> &mst::kernelMethods() {
       {"SystemDictionary", false, "accessing",
        "at: key ^self at: key ifAbsent: [self error: 'global not "
        "found']"},
+      {"SystemDictionary", false, "private",
+       "grow | old | old := table. table := Array new: old size * 2. "
+       "tally := 0. 1 to: old size do: [:j | | a | a := old at: j. a "
+       "isNil ifFalse: [self at: a key put: a value]]"},
+      // The grow check keeps the table at most half full; without it the
+      // probe loop below has no empty slot to stop on once the 78th
+      // eval-side global fills the 128-slot bootstrap table, and a plain
+      // `Smalltalk at: #X put: 0` spins the VM forever.
       {"SystemDictionary", false, "accessing",
-       "at: key put: value | i a | i := key identityHash \\\\ table size "
-       "+ 1. [true] whileTrue: [a := table at: i. a isNil ifTrue: [table "
-       "at: i put: (Association basicNew setKey: key value: value). tally "
-       ":= tally + 1. ^value]. a key == key ifTrue: [a value: value. "
-       "^value]. i := i = table size ifTrue: [1] ifFalse: [i + 1]]"},
+       "at: key put: value | i a | tally * 2 >= table size ifTrue: "
+       "[self grow]. i := key identityHash \\\\ table size + 1. [true] "
+       "whileTrue: [a := table at: i. a isNil ifTrue: [table at: i put: "
+       "(Association basicNew setKey: key value: value). tally := tally "
+       "+ 1. ^value]. a key == key ifTrue: [a value: value. ^value]. i "
+       ":= i = table size ifTrue: [1] ifFalse: [i + 1]]"},
       {"SystemDictionary", false, "testing",
        "includesKey: key ^(self associationAt: key) notNil"},
       {"SystemDictionary", false, "enumerating",

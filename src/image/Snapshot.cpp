@@ -66,7 +66,9 @@ constexpr uint32_t TrailerMagic = 0x4d535445;   // "MSTE"
 constexpr uint32_t SecObjectsTag = 0x4f424a53;  // "OBJS"
 constexpr uint32_t SecRootsTag = 0x524f4f54;    // "ROOT"
 constexpr uint32_t SecSymbolsTag = 0x53594d42;  // "SYMB"
-constexpr uint32_t SectionCount = 3;
+constexpr uint32_t SecJournalTag = 0x4a504f53;  // "JPOS"
+constexpr uint32_t SectionCount = 3;    // mandatory sections
+constexpr uint32_t MaxSectionCount = 4; // + the optional journal mark
 
 /// Slot-count ceiling for a single record. Contexts are the only format
 /// whose SlotCount may exceed the serialized live slots; no legitimate
@@ -582,11 +584,16 @@ private:
   VirtualMachine &VM;
   const std::vector<uint8_t> &File;
   FileHeader Header{};
-  Span Sections[SectionCount]; // OBJS, ROOT, SYMB
+  Span Sections[MaxSectionCount]; // OBJS, ROOT, SYMB [, JPOS]
   std::vector<Rec> Records;
   std::vector<uint64_t> RootRefs;
   std::vector<uint64_t> SymbolIds;
   std::vector<Oop> Loaded;
+
+public:
+  /// Journal high-water mark from the optional JPOS section.
+  bool HasJournalMark = false;
+  uint64_t JournalMark = 0;
 };
 
 bool Loader::verifyEnvelope(std::string &Error) {
@@ -646,20 +653,23 @@ bool Loader::verifyEnvelope(std::string &Error) {
     Error = "header CRC mismatch";
     return false;
   }
-  if (Header.Sections != SectionCount) {
+  if (Header.Sections != SectionCount &&
+      Header.Sections != MaxSectionCount) {
     Error = "header corrupt: " + std::to_string(Header.Sections) +
-            " sections, expected " + std::to_string(SectionCount);
+            " sections, expected " + std::to_string(SectionCount) + " or " +
+            std::to_string(MaxSectionCount);
     return false;
   }
 
   static const struct {
     uint32_t Tag;
     const char *Name;
-  } Expected[SectionCount] = {{SecObjectsTag, "objects"},
-                              {SecRootsTag, "roots"},
-                              {SecSymbolsTag, "symbols"}};
+  } Expected[MaxSectionCount] = {{SecObjectsTag, "objects"},
+                                 {SecRootsTag, "roots"},
+                                 {SecSymbolsTag, "symbols"},
+                                 {SecJournalTag, "journal-mark"}};
   size_t Off = sizeof(FileHeader);
-  for (unsigned I = 0; I < SectionCount; ++I) {
+  for (unsigned I = 0; I < Header.Sections; ++I) {
     if (Off + sizeof(SectionHeader) > TrailerOff) {
       Error = "section table truncated at byte offset " +
               std::to_string(Off);
@@ -697,6 +707,15 @@ bool Loader::verifyEnvelope(std::string &Error) {
     Error = "file has " + std::to_string(TrailerOff - Off) +
             " unaccounted bytes after the last section";
     return false;
+  }
+  if (Header.Sections == MaxSectionCount) {
+    if (Sections[3].Len != 8) {
+      Error = "section 'journal-mark' has " +
+              std::to_string(Sections[3].Len) + " bytes, expected 8";
+      return false;
+    }
+    std::memcpy(&JournalMark, Sections[3].Data, 8);
+    HasJournalMark = true;
   }
   // Counts claimed by the (CRC-valid) header must be achievable within
   // the sections that carry them, or a crafted count like 2^60 would
@@ -975,18 +994,24 @@ bool mst::saveSnapshot(VirtualMachine &VM, const std::string &Path,
   Header.Version = SnapshotVersion;
   Header.ObjectCount = ObjectCount;
   Header.RootCount = RootCount;
-  Header.Sections = SectionCount;
+  Header.Sections = Opts.HasJournalMark ? MaxSectionCount : SectionCount;
   Header.Crc = crc32(&Header, sizeof(Header) - sizeof(uint32_t));
+
+  Buf JournalPos;
+  if (Opts.HasJournalMark)
+    JournalPos.put(&Opts.JournalMark, sizeof(Opts.JournalMark));
 
   Buf Image;
   Image.put(&Header, sizeof(Header));
   const struct {
     uint32_t Tag;
     const Buf *Payload;
-  } Sections[SectionCount] = {{SecObjectsTag, &Objects},
-                              {SecRootsTag, &Roots},
-                              {SecSymbolsTag, &Symbols}};
-  for (const auto &S : Sections) {
+  } Sections[MaxSectionCount] = {{SecObjectsTag, &Objects},
+                                 {SecRootsTag, &Roots},
+                                 {SecSymbolsTag, &Symbols},
+                                 {SecJournalTag, &JournalPos}};
+  for (unsigned I = 0; I < Header.Sections; ++I) {
+    const auto &S = Sections[I];
     SectionHeader SH{};
     SH.Tag = S.Tag;
     SH.PayloadBytes = S.Payload->V.size();
@@ -1006,7 +1031,8 @@ bool mst::saveSnapshot(VirtualMachine &VM, const std::string &Path,
 
 bool mst::loadSnapshotExact(VirtualMachine &VM, const std::string &Path,
                             std::string &Error,
-                            SnapshotLoadFailure *Failure) {
+                            SnapshotLoadFailure *Failure,
+                            SnapshotInfo *Info) {
   auto FailedAs = [&](SnapshotLoadFailure F) {
     if (Failure)
       *Failure = F;
@@ -1014,6 +1040,8 @@ bool mst::loadSnapshotExact(VirtualMachine &VM, const std::string &Path,
   };
   if (Failure)
     *Failure = SnapshotLoadFailure::None;
+  if (Info)
+    *Info = SnapshotInfo();
   uint64_t Start = Telemetry::nowNs();
   std::vector<uint8_t> File;
   if (!readWholeFile(Path, File, Error))
@@ -1023,6 +1051,10 @@ bool mst::loadSnapshotExact(VirtualMachine &VM, const std::string &Path,
     return FailedAs(SnapshotLoadFailure::CleanVm); // VM not touched
   if (!L.materialize(Error))
     return FailedAs(SnapshotLoadFailure::VmMutated);
+  if (Info) {
+    Info->HasJournalMark = L.HasJournalMark;
+    Info->JournalMark = L.JournalMark;
+  }
   // Loaded code may differ from whatever warmed the caches.
   VM.cache().flushAll();
   VM.contextPool().flushAll();
@@ -1033,7 +1065,7 @@ bool mst::loadSnapshotExact(VirtualMachine &VM, const std::string &Path,
 }
 
 bool mst::loadSnapshot(VirtualMachine &VM, const std::string &Path,
-                       std::string &Error) {
+                       std::string &Error, SnapshotInfo *Info) {
   // The recovery ladder: the primary image, then each rotated generation
   // in order. A candidate that fails verification never mutates the VM,
   // so the next rung starts from a clean slate; a candidate that fails
@@ -1052,7 +1084,7 @@ bool mst::loadSnapshot(VirtualMachine &VM, const std::string &Path,
     }
     std::string E;
     SnapshotLoadFailure F = SnapshotLoadFailure::None;
-    if (loadSnapshotExact(VM, Candidate, E, &F))
+    if (loadSnapshotExact(VM, Candidate, E, &F, Info))
       return true;
     Diagnostics += "  " + Candidate + ": " + E + "\n";
     if (F == SnapshotLoadFailure::VmMutated) {

@@ -71,6 +71,24 @@ struct SnapshotOptions {
   /// `<path>.1` to `<path>.2`, and so on up to `<path>.N`. 0 keeps none
   /// (the previous image is replaced atomically but not preserved).
   unsigned KeepGenerations = 0;
+
+  /// When set, the image carries an optional fourth section ("JPOS")
+  /// recording the request-journal high-water mark this snapshot covers:
+  /// every journaled request with a logical position below JournalMark
+  /// has its effects inside this image, so replay-on-reboot starts at
+  /// the mark and journal truncation may (after the rename lands) drop
+  /// everything below it. Images written without the mark stay
+  /// three-section and byte-identical to the pre-journal format.
+  bool HasJournalMark = false;
+  uint64_t JournalMark = 0;
+};
+
+/// Out-of-band facts about a loaded image that are not part of the object
+/// graph. Filled by loadSnapshot/loadSnapshotExact when requested.
+struct SnapshotInfo {
+  /// Journal high-water mark from the image's JPOS section, when present.
+  bool HasJournalMark = false;
+  uint64_t JournalMark = 0;
 };
 
 /// Writes \p VM's image to \p Path using the atomic tmp+fsync+rename
@@ -115,15 +133,18 @@ enum class SnapshotLoadFailure {
 /// per-candidate diagnostics (section, offset, expected vs. actual) when
 /// no generation loads.
 bool loadSnapshot(VirtualMachine &VM, const std::string &Path,
-                  std::string &Error);
+                  std::string &Error, SnapshotInfo *Info = nullptr);
 
 /// Loads exactly \p Path — no generation fallback. The primitive the
 /// ladder is built from; corruption tests call it directly. \p Failure,
 /// when non-null, reports whether a failed load left the VM untouched
-/// (safe to try another candidate) or already mutated.
+/// (safe to try another candidate) or already mutated. \p Info, when
+/// non-null, receives the image's journal mark (JPOS section) if it has
+/// one.
 bool loadSnapshotExact(VirtualMachine &VM, const std::string &Path,
                        std::string &Error,
-                       SnapshotLoadFailure *Failure = nullptr);
+                       SnapshotLoadFailure *Failure = nullptr,
+                       SnapshotInfo *Info = nullptr);
 
 /// The canonical per-shard checkpoint path for the serving layer: shard
 /// \p Shard of a pool rooted at \p Dir checkpoints to

@@ -91,7 +91,11 @@ std::string serve::buildHealthJson(ShardPool &Pool, ServeStats &Stats,
            std::to_string(H.DeadlineExpired) +
            ",\"aborts\":" + std::to_string(H.Aborts) +
            ",\"aborts_escalated\":" +
-           std::to_string(H.AbortsEscalated);
+           std::to_string(H.AbortsEscalated) +
+           ",\"journal_bytes\":" + std::to_string(H.JournalBytes) +
+           ",\"replayed\":" + std::to_string(H.Replayed) +
+           ",\"dedup_size\":" + std::to_string(H.DedupSize) +
+           ",\"dedup_hits\":" + std::to_string(H.DedupHits);
     if (Gates && H.Index < Gates->size()) {
       const ShardGateView &G = (*Gates)[H.Index];
       Out += ",\"breaker\":";

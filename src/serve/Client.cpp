@@ -21,8 +21,9 @@
 using namespace mst;
 using namespace mst::serve;
 
-bool Client::connect(uint16_t Port) {
+bool Client::connect(uint16_t P) {
   disconnect();
+  Port = P;
   Fd = socket(AF_INET, SOCK_STREAM, 0);
   if (Fd < 0)
     return false;
@@ -101,14 +102,37 @@ bool Client::recvLine(std::string &Line, double TimeoutSec) {
   return true;
 }
 
+bool Client::evalSeq(const std::string &Source, bool HasSeq, uint64_t Seq,
+                     bool &Ok, std::string &Value, double TimeoutSec) {
+  std::string Line = HasSeq ? "@?seq=" + std::to_string(Seq) + " " +
+                                  escapeLine(Source)
+                            : escapeLine(Source);
+  if (!sendLine(Line))
+    return false;
+  std::string Resp, Tag;
+  if (!recvLine(Resp, TimeoutSec))
+    return false;
+  return parseResponseLine(Resp, Ok, Tag, Value);
+}
+
 bool Client::eval(const std::string &Source, bool &Ok, std::string &Value,
                   double TimeoutSec) {
-  if (!sendLine(escapeLine(Source)))
+  bool HasSeq = Bound;
+  uint64_t Seq = HasSeq ? NextClientSeq++ : 0;
+  return evalSeq(Source, HasSeq, Seq, Ok, Value, TimeoutSec);
+}
+
+bool Client::bindSession(uint64_t Id, double TimeoutSec) {
+  if (!sendLine("!session " + std::to_string(Id)))
     return false;
-  std::string Line, Tag;
-  if (!recvLine(Line, TimeoutSec))
+  std::string Line, Tag, Value;
+  bool Ok = false;
+  if (!recvLine(Line, TimeoutSec) ||
+      !parseResponseLine(Line, Ok, Tag, Value) || !Ok)
     return false;
-  return parseResponseLine(Line, Ok, Tag, Value);
+  Bound = true;
+  ClientId = Id;
+  return true;
 }
 
 bool Client::evalRetry(const std::string &Source, bool &Ok,
@@ -118,9 +142,27 @@ bool Client::evalRetry(const std::string &Source, bool &Ok,
   // without needing a real RNG (splitmix on fd + attempt).
   uint64_t Seed = static_cast<uint64_t>(Fd) * 0x9e3779b97f4a7c15ULL ^
                   reinterpret_cast<uintptr_t>(this);
+  // A bound client allocates the dedup key ONCE: every retry — including
+  // reconnect-after-drop — resends the same seq, so a request whose ack
+  // was lost in flight is answered from the shard's dedup table instead
+  // of executed a second time.
+  bool HasSeq = Bound;
+  uint64_t Seq = HasSeq ? NextClientSeq++ : 0;
   for (unsigned Attempt = 0;; ++Attempt) {
-    if (!eval(Source, Ok, Value, TimeoutSec))
-      return false; // transport failure: retrying can't help a lost link
+    if (!evalSeq(Source, HasSeq, Seq, Ok, Value, TimeoutSec)) {
+      // Transport failure. Unbound, a retry could double-execute a
+      // request the server already ran — surface the failure. Bound, the
+      // seq makes the resend safe: reconnect, rebind, try again.
+      if (!Bound || Attempt + 1 >= MaxAttempts)
+        return false;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      if (!connect(Port) || !bindSession(ClientId, TimeoutSec)) {
+        if (Attempt + 2 >= MaxAttempts)
+          return false;
+        continue; // server may still be rebooting the shard
+      }
+      continue;
+    }
     if (Ok || Value.rfind("overloaded", 0) != 0)
       return true;
     if (Attempt + 1 >= MaxAttempts)

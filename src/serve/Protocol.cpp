@@ -75,23 +75,42 @@ Request serve::parseRequestLine(const std::string &Line) {
     }
     R.Tag = Rest.substr(0, Sp);
     Rest = Rest.substr(Sp + 1);
-    // `@tag?deadline=MS` — the deadline rides the tag token; the echoed
-    // tag is the bare prefix (empty for the anonymous `@?deadline=MS`).
+    // `@tag?deadline=MS&seq=N` — options ride the tag token, separated
+    // by '&'; the echoed tag is the bare prefix (empty for the anonymous
+    // `@?deadline=MS`).
     size_t Qm = R.Tag.find('?');
     if (Qm != std::string::npos) {
-      std::string Opt = R.Tag.substr(Qm + 1);
+      std::string Opts = R.Tag.substr(Qm + 1);
       R.Tag = R.Tag.substr(0, Qm);
-      const char Key[] = "deadline=";
-      if (Opt.rfind(Key, 0) != 0 ||
-          Opt.size() == sizeof(Key) - 1 ||
-          Opt.find_first_not_of("0123456789", sizeof(Key) - 1) !=
-              std::string::npos) {
-        R.K = Request::Kind::Bad;
-        R.Error = "malformed tag option: expected '@tag?deadline=MS'";
-        return R;
+      size_t Start = 0;
+      while (Start <= Opts.size()) {
+        size_t Amp = Opts.find('&', Start);
+        std::string Opt = Amp == std::string::npos
+                              ? Opts.substr(Start)
+                              : Opts.substr(Start, Amp - Start);
+        size_t Eq = Opt.find('=');
+        std::string Key =
+            Eq == std::string::npos ? Opt : Opt.substr(0, Eq);
+        std::string Val =
+            Eq == std::string::npos ? "" : Opt.substr(Eq + 1);
+        bool Numeric = !Val.empty() &&
+                       Val.find_first_not_of("0123456789") ==
+                           std::string::npos;
+        if (Key == "deadline" && Numeric) {
+          R.DeadlineMs = std::strtoull(Val.c_str(), nullptr, 10);
+        } else if (Key == "seq" && Numeric) {
+          R.HasSeq = true;
+          R.Seq = std::strtoull(Val.c_str(), nullptr, 10);
+        } else {
+          R.K = Request::Kind::Bad;
+          R.Error = "malformed tag option: expected "
+                    "'@tag?deadline=MS' and/or '&seq=N'";
+          return R;
+        }
+        if (Amp == std::string::npos)
+          break;
+        Start = Amp + 1;
       }
-      R.DeadlineMs = std::strtoull(Opt.c_str() + sizeof(Key) - 1,
-                                   nullptr, 10);
       if (R.Tag == "@")
         R.Tag.clear();
     }
@@ -112,6 +131,15 @@ Request serve::parseRequestLine(const std::string &Line) {
   std::string Arg = Sp == std::string::npos ? "" : Rest.substr(Sp + 1);
   if (Cmd == "!health") {
     R.K = Request::Kind::Health;
+  } else if (Cmd == "!session") {
+    if (Arg.empty() ||
+        Arg.find_first_not_of("0123456789") != std::string::npos) {
+      R.K = Request::Kind::Bad;
+      R.Error = "!session needs a numeric client id";
+      return R;
+    }
+    R.K = Request::Kind::Session;
+    R.SessionBind = std::strtoull(Arg.c_str(), nullptr, 10);
   } else if (Cmd == "!checkpoint") {
     R.K = Request::Kind::Checkpoint;
   } else if (Cmd == "!kill") {

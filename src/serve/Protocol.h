@@ -15,6 +15,16 @@
 ///                              request answers ERR RequestTimeout (the
 ///                              response echoes the bare @t7)
 ///   @?deadline=50 3 + 4 * 2    anonymous deadline (no tag echoed)
+///   @t7?seq=12 3 + 4 * 2       same, with an explicit client sequence
+///                              number (requires a `!session`-bound
+///                              connection): a resend of an already
+///                              completed (id, seq) is answered from the
+///                              dedup table instead of re-executed.
+///                              Options combine: `@t7?deadline=50&seq=12`
+///   !session 41                bind this connection to durable client
+///                              id 41: re-pins the session to shard
+///                              41 % N, and `?seq=` evaluations become
+///                              exactly-once across reconnects
 ///   !health                    admin: one-line aggregate JSON report
 ///   !checkpoint                admin: checkpoint every shard (one
 ///                              response line per shard)
@@ -49,6 +59,7 @@ namespace serve {
 struct Request {
   enum class Kind : uint8_t {
     Eval,       ///< evaluate Source on the session's shard
+    Session,    ///< !session ID — bind a durable client identity
     Health,     ///< !health — aggregate JSON report
     Checkpoint, ///< !checkpoint — checkpoint every shard
     Kill,       ///< !kill N — crash shard KillShard (restart from snapshot)
@@ -63,6 +74,12 @@ struct Request {
   /// Per-request deadline from `?deadline=MS` (milliseconds from
   /// receipt); 0 = use the server default.
   uint64_t DeadlineMs = 0;
+  /// Explicit client sequence from `?seq=N` (dedup key on a bound
+  /// session).
+  bool HasSeq = false;
+  uint64_t Seq = 0;
+  /// Durable client id from `!session ID`.
+  uint64_t SessionBind = 0;
   std::string Error;  ///< diagnostic when K == Bad
 };
 

@@ -39,6 +39,14 @@ namespace serve {
 struct QueuedRequest {
   uint64_t SessionId = 0;
   uint64_t Seq = 0;      ///< per-session sequence (FIFO check support)
+  /// Durable client identity for journaling/dedup. Defaults to the
+  /// connection's SessionId; a `!session ID`-bound connection carries its
+  /// declared id, which survives reconnects.
+  uint64_t ClientId = 0;
+  /// The client stamped an explicit `?seq=N` (bound sessions only):
+  /// ClientSeq keys the dedup table so a resend is answered, not re-run.
+  bool HasSeq = false;
+  uint64_t ClientSeq = 0;
   std::string Tag;       ///< protocol echo tag
   Request::Kind Kind = Request::Kind::Eval;
   std::string Source;
@@ -51,6 +59,14 @@ struct QueuedRequest {
   /// Which shard the front-end pinned this request to (admission
   /// bookkeeping on the response path).
   unsigned Shard = 0;
+
+  // Journal bookkeeping (courier/shard threads; see serve/Journal.h).
+  /// Intent record id assigned by the courier's WAL append; 0 = not
+  /// journaled (journal off, admin request, or dedup hit).
+  uint64_t JournalId = 0;
+  /// Outcome as recorded in the journal (Journal::Outcome numeric value);
+  /// 0 = none. The courier reads it after Reply to decide dedup inserts.
+  uint8_t JournalOutcome = 0;
 
   // Result (written by the shard thread, read after Reply).
   bool Done = false;

@@ -55,6 +55,10 @@ int main(int argc, char **argv) {
     } else if (std::strncmp(A, "--snapshot-keep=", 16) == 0) {
       Config.Pool.KeepGenerations =
           static_cast<unsigned>(std::strtoul(A + 16, nullptr, 0));
+    } else if (std::strcmp(A, "--journal") == 0) {
+      Config.Pool.Journal = true;
+    } else if (std::strncmp(A, "--replay-deadline-ms=", 21) == 0) {
+      Config.Pool.ReplayDeadlineMs = std::strtoull(A + 21, nullptr, 0);
     } else if (std::strncmp(A, "--max-batch=", 12) == 0) {
       Config.Pool.MaxBatch = std::strtoull(A + 12, nullptr, 0);
     } else if (std::strncmp(A, "--max-pipeline=", 15) == 0) {
@@ -80,7 +84,9 @@ int main(int argc, char **argv) {
       std::fprintf(stderr,
                    "usage: %s [--port=N] [--shards=N] [--image=PATH] "
                    "[--data-dir=DIR] [--snapshot-every=MS] "
-                   "[--snapshot-keep=N] [--max-batch=N] [--max-pipeline=N] "
+                   "[--snapshot-keep=N] [--journal] "
+                   "[--replay-deadline-ms=MS] "
+                   "[--max-batch=N] [--max-pipeline=N] "
                    "[--drain-timeout=SEC] [--request-deadline-ms=MS] "
                    "[--queue-budget=N] [--breaker-threshold=N] "
                    "[--breaker-open-ms=MS] [--abort-grace-ms=MS] "
@@ -88,6 +94,10 @@ int main(int argc, char **argv) {
                    argv[0]);
       return 2;
     }
+  }
+  if (Config.Pool.Journal && Config.Pool.DataDir.empty()) {
+    std::fprintf(stderr, "mst_serve: --journal requires --data-dir\n");
+    return 2;
   }
   if (!chaos::enabled())
     chaos::enableFromEnv(); // MST_CHAOS_SEED / MST_CHAOS_*_PM

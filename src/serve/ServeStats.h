@@ -22,6 +22,19 @@
 ///   serve.shed              requests fast-failed "ERR overloaded" by
 ///                           admission control / the breaker (counter)
 ///   serve.breaker.open      circuit-breaker open transitions (counter)
+///   serve.dedup.hits        retries answered from the dedup table
+///                           instead of re-executing (counter)
+///   serve.replayed          journaled requests re-applied during
+///                           replay-on-reboot (counter)
+///   serve.journal.appends   journal records written (counter)
+///   serve.journal.fsyncs    batch-boundary journal fsyncs (counter)
+///   serve.journal.append.failures  journal appends refused — the
+///                           request was answered ERR, never executed
+///   serve.journal.fsync.failures   journal fsyncs that failed (warn
+///                           only: records are written, replay degrades
+///                           gracefully)
+///   serve.journal.truncations      checkpoint-commit compactions
+///   serve.journal.torn      torn tails repaired at journal open
 ///   serve.sessions.active   open client sessions (gauge)
 ///   serve.queue.depth       requests queued across all batchers (gauge)
 ///   serve.batch.size        requests per batch (histogram, unit "reqs")
@@ -52,6 +65,14 @@ struct ServeStats {
   Counter AbortsEscalated{"serve.aborts.escalated"};
   Counter Shed{"serve.shed"};
   Counter BreakerOpen{"serve.breaker.open"};
+  Counter DedupHits{"serve.dedup.hits"};
+  Counter Replayed{"serve.replayed"};
+  Counter JournalAppends{"serve.journal.appends"};
+  Counter JournalFsyncs{"serve.journal.fsyncs"};
+  Counter JournalAppendFailures{"serve.journal.append.failures"};
+  Counter JournalFsyncFailures{"serve.journal.fsync.failures"};
+  Counter JournalTruncations{"serve.journal.truncations"};
+  Counter JournalTorn{"serve.journal.torn"};
   Histogram BatchSize{"serve.batch.size", "reqs"};
   Histogram Latency{"serve.latency"};
   Histogram QueueWait{"serve.queue.wait"};

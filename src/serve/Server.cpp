@@ -270,6 +270,7 @@ void Server::acceptReady() {
     Session S;
     S.Fd = Fd;
     S.Id = Id;
+    S.ClientId = Id;
     S.Shard = Pool->shardFor(Id);
     Sessions.emplace(Id, std::move(S));
     FdToSession[Fd] = Id;
@@ -326,6 +327,23 @@ void Server::handleLine(Session &S, const std::string &Line) {
   case Request::Kind::Drain:
     S.Out += formatResponse(true, R.Tag, "draining");
     requestDrain();
+    return;
+  case Request::Kind::Session:
+    // Re-binding with requests still in flight would split one client's
+    // responses across two identities; refuse until the pipeline drains.
+    if (S.Pending != 0) {
+      S.Out += formatResponse(false, R.Tag,
+                              "!session refused: requests still in flight");
+      Stats.Errors.add(1);
+      return;
+    }
+    S.ClientId = R.SessionBind;
+    S.Bound = true;
+    S.Shard = Pool->shardFor(R.SessionBind);
+    S.Out += formatResponse(true, R.Tag,
+                            "session bound to client " +
+                                std::to_string(R.SessionBind) + " shard " +
+                                std::to_string(S.Shard));
     return;
   case Request::Kind::Health: {
     std::vector<ShardGateView> Views(Gates.size());
@@ -412,9 +430,20 @@ void Server::handleLine(Session &S, const std::string &Line) {
       Stats.Errors.add();
       return;
     }
+    if (R.HasSeq && !S.Bound) {
+      S.Out += formatResponse(false, R.Tag,
+                              "?seq= requires a !session-bound connection");
+      Stats.Errors.add(1);
+      return;
+    }
     QueuedRequest Q;
     Q.SessionId = S.Id;
+    Q.ClientId = S.ClientId;
     Q.Seq = S.NextSeq++;
+    if (R.HasSeq) {
+      Q.HasSeq = true;
+      Q.ClientSeq = R.Seq;
+    }
     Q.Tag = R.Tag;
     Q.Kind = Request::Kind::Eval;
     Q.Source = std::move(R.Source);

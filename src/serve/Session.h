@@ -32,6 +32,12 @@ struct Session {
   int Fd = -1;
   uint64_t Id = 0;
   unsigned Shard = 0;     ///< pinned shard index
+  /// Durable client identity for the dedup table. Defaults to the
+  /// connection's Id; `!session N` overwrites it (and re-pins Shard to
+  /// N % shards) so a reconnecting client lands on the same shard with
+  /// the same dedup history.
+  uint64_t ClientId = 0;
+  bool Bound = false;     ///< `!session` seen; `?seq=` is honored
   std::string In;         ///< bytes read, not yet framed into lines
   std::string Out;        ///< response bytes not yet written
   uint64_t NextSeq = 0;   ///< next request sequence number

@@ -36,6 +36,18 @@
 /// BlockedRegion, so its periodic Checkpointer can stop that VM's world
 /// between batches.
 ///
+/// Durability (opt-in via ShardConfig::JournalPath; see serve/Journal.h):
+/// the courier write-ahead-logs every Eval and fsyncs once per batch
+/// before send; the shard appends an outcome record per resolved
+/// request; the crash ladder, after loading a checkpoint, replays
+/// journaled work past the checkpoint's covered position before
+/// reporting Ready — so a journaled shard's `!kill` loses nothing that
+/// was acknowledged. Journaled shards disable the *periodic* Checkpointer
+/// thread and instead checkpoint on the shard thread between batches
+/// (while the courier is parked in send), so the recorded journal mark
+/// is exact; truncation below the oldest retained generation's mark
+/// happens strictly after each checkpoint's rename lands.
+///
 /// Deadlines: each shard runs a watchdog thread. The shard thread
 /// publishes the in-flight request's deadline (under AbortMutex) around
 /// every evaluation; when the watchdog sees it expire it arms the VM's
@@ -59,12 +71,14 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 
+#include "serve/Journal.h"
 #include "serve/RequestBatcher.h"
 #include "serve/ServeStats.h"
 #include "vkernel/IpcChannel.h"
@@ -92,6 +106,15 @@ struct ShardConfig {
   /// How long the deadline watchdog waits for the VM to honor an armed
   /// abort before escalating to a shard reboot.
   uint64_t AbortGraceMs = 250;
+  /// Write-ahead request journal path; empty disables journaling (the
+  /// default — a crash then rolls back to the last checkpoint exactly as
+  /// before PR 10). With a journal, the courier logs every Eval before
+  /// its batch crosses the channel and the crash ladder replays past the
+  /// checkpoint's covered position, so acknowledged requests survive.
+  std::string JournalPath;
+  /// Per-request deadline for replayed intents whose outcome record was
+  /// lost — bounds how long a torn-tail runaway can wedge a reboot.
+  uint64_t ReplayDeadlineMs = 5000;
   VmConfig Vm = VmConfig::multiprocessor(1);
 };
 
@@ -139,6 +162,10 @@ public:
     uint64_t DeadlineExpired = 0; ///< deadlines that expired here
     uint64_t Aborts = 0;          ///< in-VM aborts the watchdog armed
     uint64_t AbortsEscalated = 0; ///< aborts escalated to a reboot
+    uint64_t JournalBytes = 0;    ///< journal file size (0 = no journal)
+    uint64_t Replayed = 0;        ///< intents re-applied across reboots
+    uint64_t DedupSize = 0;       ///< cached (client, seq) responses
+    uint64_t DedupHits = 0;       ///< retries answered from the cache
     std::string LastError;   ///< last boot/checkpoint failure, or empty
   };
   Health health();
@@ -160,6 +187,36 @@ private:
   void failFrom(Batch &B, size_t First);
   void setState(const char *S);
   void noteError(const std::string &E);
+
+  // --- write-ahead journal plumbing (no-ops when JournalPath is empty) ---
+  bool journaled() const { return Jrnl != nullptr; }
+  /// Courier side, before send: answer dedup hits, refuse in-flight
+  /// duplicates, append + fsync intent records for everything else.
+  void prepareBatchJournal(Batch &B);
+  /// Courier side, after reply: clear in-flight marks and cache
+  /// completed (client, seq) responses.
+  void finishBatchJournal(Batch &B);
+  /// Shard side: record how \p Q resolved (also remembered in
+  /// Q.JournalOutcome for the courier's dedup insert).
+  void appendOutcomeFor(QueuedRequest &Q, Journal::Outcome Out);
+  /// Shard side: fsync pending refusal outcomes (SkippedCrash /
+  /// SkippedExpired / TimedOut). A refusal tells the client "this did
+  /// not (fully) execute", so it must be durable before the response
+  /// escapes — otherwise a torn tail would make replay re-execute a
+  /// request the client was told to retry. Executed outcomes stay
+  /// unsynced on purpose: losing one only degrades replay to a
+  /// deterministic re-run.
+  void syncRefusals();
+  /// Shard side, after image load: re-apply journaled intents at or past
+  /// \p Mark per their outcome records.
+  void replayJournal(uint64_t Mark);
+  /// Shard side, after a successful checkpoint rename: compact the
+  /// journal below the oldest retained generation's mark.
+  void commitJournalTruncate();
+  /// Shard side, between batches: periodic checkpoint for journaled
+  /// shards (their Checkpointer thread is disabled so the mark is always
+  /// read at a batch boundary).
+  void maybeAutoCheckpoint();
 
   ShardConfig Config;
   ResponseSink Sink;
@@ -194,6 +251,27 @@ private:
   std::unique_ptr<VirtualMachine> VM;
   std::unique_ptr<Checkpointer> Ck;
 
+  /// Write-ahead journal (null when disabled). Opened in start() before
+  /// either thread runs; after that the courier and shard threads take
+  /// strictly alternating turns on it (the courier is blocked in send()
+  /// whenever the shard appends, checkpoints, or truncates), and health()
+  /// only reads counters through the journal's own mutex.
+  std::unique_ptr<Journal> Jrnl;
+  DedupTable Dedup;
+  /// Journal mark the in-progress checkpoint covers; shard thread only
+  /// (set right before every checkpointNow, read by its JournalMark
+  /// callback on the same thread).
+  uint64_t PendingMark = 0;
+  /// A non-Executed outcome was appended since the last sync; shard
+  /// thread only (courier and shard strictly alternate on the journal).
+  bool RefusalPending = false;
+  /// Marks of the last KeepGenerations+1 committed checkpoints, oldest
+  /// first: truncation must stay below what the oldest *retained* rotated
+  /// image still needs. Seeded with 0 so nothing is dropped until the
+  /// rotation window has cycled once. Shard thread only.
+  std::deque<uint64_t> PrevMarks;
+  uint64_t NextAutoCkNs = 0; ///< shard thread only
+
   std::mutex ReadyMutex;
   std::condition_variable ReadyCv;
   bool BootDone = false; // guarded by ReadyMutex
@@ -207,6 +285,8 @@ private:
   std::atomic<uint64_t> DeadlineExpiredCount{0};
   std::atomic<uint64_t> AbortCount{0};
   std::atomic<uint64_t> EscalatedCount{0};
+  std::atomic<uint64_t> ReplayedCount{0};
+  std::atomic<uint64_t> DedupHitCount{0};
   /// Checkpoints taken by Checkpointers of earlier generations (each
   /// restart builds a fresh one). Shard thread only.
   uint64_t CkTakenBase = 0;

@@ -19,8 +19,14 @@ ShardPool::ShardPool(const PoolConfig &Config, Shard::ResponseSink Sink,
     ShardConfig C;
     C.Index = I;
     C.BaseImage = Config.BaseImage;
-    if (!Config.DataDir.empty())
+    if (!Config.DataDir.empty()) {
       C.CheckpointPath = shardImagePath(Config.DataDir, I);
+      if (Config.Journal) {
+        std::string P = shardImagePath(Config.DataDir, I);
+        C.JournalPath = P.substr(0, P.size() - 6) + ".journal";
+      }
+    }
+    C.ReplayDeadlineMs = Config.ReplayDeadlineMs;
     C.KeepGenerations = Config.KeepGenerations;
     C.CheckpointEveryMs = Config.CheckpointEveryMs;
     C.MaxBatch = Config.MaxBatch;

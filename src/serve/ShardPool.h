@@ -35,6 +35,12 @@ struct PoolConfig {
   std::string DataDir;
   unsigned KeepGenerations = 2;
   uint64_t CheckpointEveryMs = 0;
+  /// Write-ahead request journaling (`shardNNN.journal` next to the
+  /// checkpoint): every acknowledged request survives any crash via
+  /// checkpoint + replay. Requires DataDir.
+  bool Journal = false;
+  /// Per-request deadline during journal replay.
+  uint64_t ReplayDeadlineMs = 5000;
   size_t MaxBatch = 256;
   /// Watchdog grace before a dishonored abort escalates to a reboot.
   uint64_t AbortGraceMs = 250;

@@ -322,6 +322,21 @@ TEST_F(KernelTest, DictionaryRemoveKey) {
       "i) ifTrue: [ok := false]]]. ^ok"));
 }
 
+TEST_F(KernelTest, SystemDictionaryGrowsPastBootstrapTable) {
+  // The bootstrap table holds 128 slots with ~50 kernel globals already
+  // installed. Before SystemDictionary>>at:put: learned to grow, the
+  // 78th eval-side global filled the table completely and the probe
+  // loop spun forever (no empty slot, no wrap guard) — a single
+  // `Smalltalk at: #X put: 0` wedged a serving shard permanently.
+  EXPECT_TRUE(T.evalBool(
+      "| ok | 1 to: 300 do: [:i | Smalltalk at: i printString asSymbol "
+      "put: i * 3]. ok := true. 1 to: 300 do: [:i | (Smalltalk at: i "
+      "printString asSymbol) = (i * 3) ifFalse: [ok := false]]. ^ok"));
+  // Growth keeps the probe chains coherent: a lookup that hashed into
+  // the old table still lands in the rebuilt one.
+  EXPECT_EQ(T.evalInt("^Smalltalk at: 250 printString asSymbol"), 750);
+}
+
 TEST_F(KernelTest, ConstructorsAndCollectionMath) {
   EXPECT_EQ(T.evalInt("^(Array with: 7) first"), 7);
   EXPECT_EQ(T.evalInt("^(Array with: 1 with: 2 with: 3) sum"), 6);

@@ -147,6 +147,51 @@ TEST(SnapshotTest, SaveAndReloadBasicImage) {
   }).join();
 }
 
+TEST(SnapshotTest, JournalMarkSectionRoundTripsAndStaysOptional) {
+  std::string Plain = tempPath("plain.image");
+  std::string Marked = tempPath("marked.image");
+  std::thread([&] {
+    TestVm T;
+    std::string Error;
+    // Without the mark the image stays the classic three-section layout.
+    ASSERT_TRUE(saveSnapshot(T.vm(), Plain, Error)) << Error;
+    SnapshotOptions Opts;
+    Opts.HasJournalMark = true;
+    Opts.JournalMark = 0xDEADBEEFCAFEull;
+    ASSERT_TRUE(saveSnapshot(T.vm(), Marked, Error, Opts)) << Error;
+  }).join();
+
+  std::thread([&] {
+    VirtualMachine VM(VmConfig::multiprocessor(1));
+    std::string Error;
+    SnapshotInfo Info;
+    ASSERT_TRUE(loadSnapshot(VM, Plain, Error, &Info)) << Error;
+    EXPECT_FALSE(Info.HasJournalMark);
+    EXPECT_EQ(Info.JournalMark, 0u);
+  }).join();
+
+  std::thread([&] {
+    VirtualMachine VM(VmConfig::multiprocessor(1));
+    std::string Error;
+    SnapshotInfo Info;
+    ASSERT_TRUE(loadSnapshot(VM, Marked, Error, &Info)) << Error;
+    EXPECT_TRUE(Info.HasJournalMark);
+    EXPECT_EQ(Info.JournalMark, 0xDEADBEEFCAFEull);
+    // The image itself is intact either way.
+    Oop Sum = VM.compileAndRun("^3 + 4");
+    ASSERT_TRUE(Sum.isSmallInt());
+    EXPECT_EQ(Sum.smallInt(), 7);
+  }).join();
+
+  // Callers that never ask for the info (the whole pre-journal world)
+  // still load a marked image.
+  std::thread([&] {
+    VirtualMachine VM(VmConfig::multiprocessor(1));
+    std::string Error;
+    ASSERT_TRUE(loadSnapshot(VM, Marked, Error)) << Error;
+  }).join();
+}
+
 TEST(SnapshotTest, RuntimeDefinedClassesSurvive) {
   std::string Path = tempPath("classes.image");
   std::thread([&] {

@@ -53,6 +53,54 @@ TEST(ServeProtocol, ParseDeadlineOption) {
   EXPECT_EQ(N.DeadlineMs, 0u);
 }
 
+TEST(ServeProtocol, ParseSeqOptionAndCombinations) {
+  Request R = parseRequestLine("@t7?seq=12 3 + 4");
+  EXPECT_EQ(R.K, Request::Kind::Eval);
+  EXPECT_EQ(R.Tag, "@t7");
+  EXPECT_TRUE(R.HasSeq);
+  EXPECT_EQ(R.Seq, 12u);
+  EXPECT_EQ(R.DeadlineMs, 0u);
+
+  Request Both = parseRequestLine("@t7?deadline=50&seq=12 3 + 4");
+  EXPECT_EQ(Both.K, Request::Kind::Eval);
+  EXPECT_EQ(Both.Tag, "@t7");
+  EXPECT_EQ(Both.DeadlineMs, 50u);
+  EXPECT_TRUE(Both.HasSeq);
+  EXPECT_EQ(Both.Seq, 12u);
+
+  // Anonymous seq (the Client's evalRetry wire form).
+  Request Anon = parseRequestLine("@?seq=3 1 + 1");
+  EXPECT_EQ(Anon.K, Request::Kind::Eval);
+  EXPECT_TRUE(Anon.Tag.empty());
+  EXPECT_TRUE(Anon.HasSeq);
+  EXPECT_EQ(Anon.Seq, 3u);
+
+  // seq=0 is a legal explicit sequence number.
+  Request Zero = parseRequestLine("@?seq=0 1 + 1");
+  EXPECT_TRUE(Zero.HasSeq);
+  EXPECT_EQ(Zero.Seq, 0u);
+
+  // No option: HasSeq stays off.
+  EXPECT_FALSE(parseRequestLine("@t1 2 + 2").HasSeq);
+
+  EXPECT_EQ(parseRequestLine("@t7?seq= 1 + 1").K, Request::Kind::Bad);
+  EXPECT_EQ(parseRequestLine("@t7?seq=abc 1 + 1").K, Request::Kind::Bad);
+  EXPECT_EQ(parseRequestLine("@t7?deadline=50&nope=1 1 + 1").K,
+            Request::Kind::Bad);
+}
+
+TEST(ServeProtocol, ParseSessionBind) {
+  Request R = parseRequestLine("!session 41");
+  EXPECT_EQ(R.K, Request::Kind::Session);
+  EXPECT_EQ(R.SessionBind, 41u);
+  Request T = parseRequestLine("@s !session 7");
+  EXPECT_EQ(T.K, Request::Kind::Session);
+  EXPECT_EQ(T.Tag, "@s");
+  EXPECT_EQ(T.SessionBind, 7u);
+  EXPECT_EQ(parseRequestLine("!session").K, Request::Kind::Bad);
+  EXPECT_EQ(parseRequestLine("!session x7").K, Request::Kind::Bad);
+}
+
 TEST(ServeProtocol, ParseDeadlineOptionMalformed) {
   EXPECT_EQ(parseRequestLine("@t7?deadline= 1 + 1").K, Request::Kind::Bad);
   EXPECT_EQ(parseRequestLine("@t7?deadline=abc 1 + 1").K,

@@ -23,6 +23,7 @@
 #include "serve/Client.h"
 #include "serve/Server.h"
 #include "serve/ServeTestUtil.h"
+#include "vkernel/Chaos.h"
 
 using namespace mst;
 using namespace mst::serve;
@@ -429,6 +430,177 @@ TEST(ServeOverload, BreakerOpensAfterConsecutiveExpiriesAndRecloses) {
   ASSERT_TRUE(Ok);
   EXPECT_NE(Json.find("\"breaker\":\"closed\""), std::string::npos);
   EXPECT_GE(S.stats().BreakerOpen.value(), 1u);
+  S.stop();
+}
+
+// --- Durability: write-ahead journal + replay ----------------------------
+
+TEST(ServeJournal, KillPreservesAcknowledgedUncheckpointedState) {
+  std::string DataDir = makeTempDir();
+  ServerConfig Config = testServerConfig(1, DataDir);
+  Config.Pool.Journal = true;
+  Server S(std::move(Config));
+  std::string Error;
+  ASSERT_TRUE(S.start(Error)) << Error;
+
+  Client C;
+  ASSERT_TRUE(C.connect(S.port()));
+  bool Ok = false;
+  std::string Value;
+  ASSERT_TRUE(C.eval("Smalltalk at: #K put: 42", Ok, Value));
+  ASSERT_TRUE(Ok);
+  ASSERT_TRUE(C.eval("!checkpoint", Ok, Value, 120.0));
+  ASSERT_TRUE(Ok) << Value;
+
+  // Acknowledged after the checkpoint: without the journal this is
+  // exactly the state KillRestartsShardFromLastCommittedCheckpoint
+  // proves gets rolled back.
+  ASSERT_TRUE(C.eval("Smalltalk at: #K put: 99", Ok, Value));
+  ASSERT_TRUE(Ok);
+
+  ASSERT_TRUE(C.eval("!kill 0", Ok, Value, 120.0));
+  EXPECT_TRUE(Ok) << Value;
+  ASSERT_TRUE(C.eval("Smalltalk at: #K", Ok, Value, 120.0));
+  ASSERT_TRUE(Ok) << Value;
+  EXPECT_EQ(Value, "99") << "acknowledged write lost across the crash";
+
+  auto Health = S.pool().health();
+  EXPECT_GE(Health[0].Replayed, 1u);
+  EXPECT_GT(Health[0].JournalBytes, 0u);
+
+  // The health JSON carries the journal surface.
+  std::string Json;
+  ASSERT_TRUE(C.eval("!health", Ok, Json));
+  ASSERT_TRUE(Ok);
+  EXPECT_NE(Json.find("\"journal_bytes\":"), std::string::npos);
+  EXPECT_NE(Json.find("\"replayed\":"), std::string::npos);
+  EXPECT_NE(Json.find("\"dedup_size\":"), std::string::npos);
+  EXPECT_NE(Json.find("\"dedup_hits\":"), std::string::npos);
+  S.stop();
+}
+
+TEST(ServeJournal, BoundSessionResendIsAnsweredFromDedupNotReExecuted) {
+  std::string DataDir = makeTempDir();
+  ServerConfig Config = testServerConfig(2, DataDir);
+  Config.Pool.Journal = true;
+  Server S(std::move(Config));
+  std::string Error;
+  ASSERT_TRUE(S.start(Error)) << Error;
+
+  Client C;
+  ASSERT_TRUE(C.connect(S.port()));
+  ASSERT_TRUE(C.bindSession(41)); // pins to shard 41 % 2 = 1
+  EXPECT_TRUE(C.bound());
+
+  bool Ok = false;
+  std::string Value;
+  ASSERT_TRUE(C.eval("Smalltalk at: #Cnt put: 0", Ok, Value));
+  ASSERT_TRUE(Ok);
+
+  // An explicit seq'd increment, then a manual resend of the SAME seq:
+  // the dedup table must answer with the original response and the
+  // increment must not run twice.
+  const std::string Inc =
+      "Smalltalk at: #Cnt put: (Smalltalk at: #Cnt) + 1";
+  ASSERT_TRUE(C.sendLine("@?seq=700 " + Inc));
+  std::string Line, Tag, First;
+  ASSERT_TRUE(C.recvLine(Line, 120.0));
+  ASSERT_TRUE(parseResponseLine(Line, Ok, Tag, First));
+  ASSERT_TRUE(Ok) << First;
+
+  ASSERT_TRUE(C.sendLine("@?seq=700 " + Inc));
+  ASSERT_TRUE(C.recvLine(Line, 120.0));
+  ASSERT_TRUE(parseResponseLine(Line, Ok, Tag, Value));
+  EXPECT_TRUE(Ok);
+  EXPECT_EQ(Value, First) << "resend must replay the cached response";
+
+  ASSERT_TRUE(C.eval("Smalltalk at: #Cnt", Ok, Value));
+  ASSERT_TRUE(Ok);
+  EXPECT_EQ(Value, "1") << "dedup failed: the increment ran twice";
+  EXPECT_GE(S.stats().DedupHits.value(), 1u);
+
+  // ?seq= without a bound session is refused (a fresh connection's
+  // implicit identity would silently collide across reconnects).
+  Client U;
+  ASSERT_TRUE(U.connect(S.port()));
+  ASSERT_TRUE(U.sendLine("@?seq=1 1 + 1"));
+  ASSERT_TRUE(U.recvLine(Line, 120.0));
+  ASSERT_TRUE(parseResponseLine(Line, Ok, Tag, Value));
+  EXPECT_FALSE(Ok);
+  EXPECT_NE(Value.find("!session"), std::string::npos) << Value;
+  S.stop();
+}
+
+TEST(ServeJournal, EvalRetryReconnectsRebindsAndDedups) {
+  std::string DataDir = makeTempDir();
+  ServerConfig Config = testServerConfig(1, DataDir);
+  Config.Pool.Journal = true;
+  Server S(std::move(Config));
+  std::string Error;
+  ASSERT_TRUE(S.start(Error)) << Error;
+
+  Client C;
+  ASSERT_TRUE(C.connect(S.port()));
+  ASSERT_TRUE(C.bindSession(7));
+  bool Ok = false;
+  std::string Value;
+  ASSERT_TRUE(C.evalRetry("Smalltalk at: #R put: 5", Ok, Value, 120.0));
+  ASSERT_TRUE(Ok) << Value;
+
+  // Sever the transport under the client's feet: evalRetry must
+  // reconnect, rebind the same identity, and still serve exactly-once.
+  C.disconnect();
+  ASSERT_TRUE(
+      C.evalRetry("Smalltalk at: #R put: (Smalltalk at: #R) + 1", Ok,
+                  Value, 120.0));
+  EXPECT_TRUE(Ok) << Value;
+  ASSERT_TRUE(C.evalRetry("Smalltalk at: #R", Ok, Value, 120.0));
+  ASSERT_TRUE(Ok);
+  EXPECT_EQ(Value, "6");
+  S.stop();
+}
+
+// Satellite regression: checkpoint commit vs journal truncation ordering.
+// A crash in the window between the checkpoint rename landing and the
+// journal truncation (here: the truncation failing outright, which leaves
+// the same on-disk state) must replay to exactly the acknowledged state —
+// no lost writes, no double-applied increments from below-mark records.
+TEST(ServeJournal, KillBetweenCheckpointCommitAndTruncationConverges) {
+  std::string DataDir = makeTempDir();
+  ServerConfig Config = testServerConfig(1, DataDir);
+  Config.Pool.Journal = true;
+  Config.Pool.KeepGenerations = 0; // first commit truncates for real
+  Server S(std::move(Config));
+  std::string Error;
+  ASSERT_TRUE(S.start(Error)) << Error;
+
+  Client C;
+  ASSERT_TRUE(C.connect(S.port()));
+  bool Ok = false;
+  std::string Value;
+  ASSERT_TRUE(C.eval("Smalltalk at: #C put: 0", Ok, Value));
+  ASSERT_TRUE(Ok);
+  ASSERT_TRUE(
+      C.eval("Smalltalk at: #C put: (Smalltalk at: #C) + 1", Ok, Value));
+  ASSERT_TRUE(Ok); // C = 1, journaled below the mark
+
+  chaos::armFail("journal.truncate.fail", 1000, 99);
+  ASSERT_TRUE(C.eval("!checkpoint", Ok, Value, 120.0));
+  EXPECT_TRUE(Ok) << Value; // rename landed; truncation injected-failed
+  EXPECT_GE(chaos::failCount("journal.truncate.fail"), 1u);
+  chaos::disarmFail();
+
+  ASSERT_TRUE(
+      C.eval("Smalltalk at: #C put: (Smalltalk at: #C) + 1", Ok, Value));
+  ASSERT_TRUE(Ok); // C = 2, journaled past the mark
+
+  ASSERT_TRUE(C.eval("!kill 0", Ok, Value, 120.0));
+  EXPECT_TRUE(Ok) << Value;
+  ASSERT_TRUE(C.eval("Smalltalk at: #C", Ok, Value, 120.0));
+  ASSERT_TRUE(Ok) << Value;
+  // Below-mark intents (put 0, first increment) must NOT re-apply on top
+  // of the checkpoint that already contains them.
+  EXPECT_EQ(Value, "2") << "replay double-applied or lost an increment";
   S.stop();
 }
 
